@@ -1,0 +1,153 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (the rows/series printed match the paper's): Tables 5-1, 5-2, 6-1 and
+   Figures 6-1 through 6-12. Part 2 runs Bechamel micro-benchmarks of
+   the matcher's primitives and of run-time production addition (the
+   §5.1 mechanism), including the sharing ablation.
+
+   Run with: dune exec bench/main.exe *)
+
+open Psme_support
+open Psme_ops5
+open Psme_rete
+open Bechamel
+open Toolkit
+
+(* --- micro-benchmark fixtures ------------------------------------------ *)
+
+let fixture_schema () =
+  let schema = Schema.create () in
+  ignore
+    (Parser.parse_program schema
+       {|
+(literalize block name color on state)
+(literalize hand state name)
+(literalize place name table)
+|});
+  schema
+
+let fixture_net schema =
+  let prods =
+    Parser.productions schema
+      {|
+(p g1 (block ^name <x> ^color blue) -(block ^on <x>) (hand ^state free) --> (write a))
+(p g2 (block ^name <x> ^color red) (place ^name <x>) --> (write b))
+(p g3 (block ^name <x> ^state <s>) (block ^name <> <x> ^state <s>) --> (write c))
+|}
+  in
+  let net = Network.create schema in
+  ignore (Build.add_all net prods);
+  net
+
+let bench_wme_churn =
+  Test.make ~name:"match: add+delete one wme (serial)"
+    (let schema = fixture_schema () in
+     let net = fixture_net schema in
+     let cls = Sym.intern "block" in
+     let tag = ref 0 in
+     Staged.stage (fun () ->
+         incr tag;
+         let fields = Array.make 4 Value.nil in
+         fields.(0) <- Value.sym "b";
+         fields.(1) <- Value.sym "blue";
+         let w = Wme.make ~cls ~fields ~timetag:!tag in
+         ignore (Psme_engine.Serial.run_changes net [ (Task.Add, w) ]);
+         ignore (Psme_engine.Serial.run_changes net [ (Task.Delete, w) ])))
+
+let added_prod schema n =
+  Parser.parse_production schema
+    (Printf.sprintf
+       {|(p added-%d (block ^name <x> ^color blue) (place ^name <x> ^table free) --> (write x))|}
+       n)
+
+let bench_add_production ~share name =
+  Test.make ~name
+    (let counter = ref 0 in
+     let schema = fixture_schema () in
+     Staged.stage (fun () ->
+         (* a fresh small network per iteration: run-time addition cost
+            includes the share-point search against existing nodes *)
+         let net =
+           Network.create ~config:{ Network.default_config with Network.share } schema
+         in
+         ignore
+           (Build.add_all net
+              (Parser.productions schema
+                 {|(p base (block ^name <x> ^color blue) (hand ^state free) --> (write a))|}));
+         incr counter;
+         ignore (Build.add_production net (added_prod schema !counter))))
+
+let bench_token_ops =
+  Test.make ~name:"token: extend+hash (8 slots)"
+    (let cls = Sym.intern "block" in
+     let wmes = Array.init 8 (fun i -> Wme.make ~cls ~fields:[||] ~timetag:i) in
+     Staged.stage (fun () ->
+         let t = ref (Token.singleton wmes.(0)) in
+         for i = 1 to 7 do
+           t := Token.extend !t wmes.(i)
+         done;
+         ignore (Token.hash !t)))
+
+let bench_memory_ops =
+  Test.make ~name:"memory: insert+probe+remove under line lock"
+    (let mem = Memory.create ~lines:64 () in
+     let cls = Sym.intern "c" in
+     let tag = ref 0 in
+     Staged.stage (fun () ->
+         incr tag;
+         let w = Wme.make ~cls ~fields:[||] ~timetag:!tag in
+         let tok = Token.singleton w in
+         let kh = !tag * 7 in
+         let line = Memory.line_of mem ~khash:kh in
+         Memory.locked mem ~line (fun () ->
+             ignore (Memory.left_add mem ~node:1 ~khash:kh tok ~count:0);
+             ignore (Memory.left_iter mem ~node:1 ~khash:kh (fun _ -> ()));
+             ignore (Memory.left_remove mem ~node:1 ~khash:kh tok))))
+
+let bench_alpha =
+  Test.make ~name:"alpha: constant-test pass for one wme"
+    (let schema = fixture_schema () in
+     let net = fixture_net schema in
+     let cls = Sym.intern "block" in
+     let fields = Array.make 4 Value.nil in
+     let () = fields.(1) <- Value.sym "blue" in
+     let w = Wme.make ~cls ~fields ~timetag:1 in
+     Staged.stage (fun () -> ignore (Runtime.seed_wme_change net Task.Add w)))
+
+let run_bechamel () =
+  let benchmarks =
+    [
+      bench_wme_churn;
+      bench_add_production ~share:true "compile: add production, sharing on";
+      bench_add_production ~share:false "compile: add production, sharing off";
+      bench_token_ops;
+      bench_memory_ops;
+      bench_alpha;
+    ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  Format.printf "@.== micro-benchmarks (Bechamel, ns/iteration) ==@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-48s %12.0f ns/run@." name est
+          | _ -> Format.printf "%-48s (no estimate)@." name)
+        ols)
+    benchmarks
+
+let () =
+  Format.printf "Soar/PSM-E reproduction — evaluation harness@.";
+  Format.printf "(simulated Encore Multimax; see DESIGN.md for the cost model)@.";
+  Psme_harness.Experiments.print_all Format.std_formatter;
+  run_bechamel ();
+  Format.printf "@.done.@."

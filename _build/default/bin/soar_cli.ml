@@ -1,0 +1,331 @@
+(* Command-line driver for Soar/PSM-E: run the measured tasks, inspect
+   networks, reproduce the paper's tables and figures. *)
+
+open Cmdliner
+open Psme_support
+open Psme_ops5
+open Psme_rete
+open Psme_engine
+open Psme_soar
+open Psme_workloads
+
+let workloads = [ Eight_puzzle.workload; Strips.workload; Cypress.workload ]
+
+let find_workload name =
+  match List.find_opt (fun w -> w.Workload.name = name) workloads with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown task %S (available: %s)" name
+         (String.concat ", " (List.map (fun w -> w.Workload.name) workloads)))
+
+(* --- shared args ------------------------------------------------------ *)
+
+let task_arg =
+  let doc = "Task to run: eight-puzzle, strips or cypress." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TASK" ~doc)
+
+let engine_arg =
+  let doc = "Match engine: serial, sim or parallel." in
+  Arg.(value & opt string "serial" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let procs_arg =
+  let doc = "Match processes for sim/parallel engines." in
+  Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"N" ~doc)
+
+let queues_arg =
+  let doc = "Task-queue organization: single or multi." in
+  Arg.(value & opt string "multi" & info [ "queues" ] ~docv:"Q" ~doc)
+
+let learning_arg =
+  let doc = "Enable chunking." in
+  Arg.(value & opt bool true & info [ "learning" ] ~docv:"BOOL" ~doc)
+
+let after_arg =
+  let doc =
+    "After-chunking run: learn on a first run, reload the chunks, run again."
+  in
+  Arg.(value & flag & info [ "after" ] ~doc)
+
+let bilinear_arg =
+  let doc = "Compile long productions into constrained bilinear networks." in
+  Arg.(value & flag & info [ "bilinear" ] ~doc)
+
+let async_arg =
+  let doc = "Fire instantiations asynchronously, synchronizing only at decisions." in
+  Arg.(value & flag & info [ "async" ] ~doc)
+
+let trace_arg =
+  let doc = "Log decisions, firings and chunks." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let parse_queues = function
+  | "single" -> Ok Parallel.Single_queue
+  | "multi" -> Ok Parallel.Multiple_queues
+  | q -> Error (Printf.sprintf "unknown queue organization %S" q)
+
+let parse_engine engine procs queues =
+  match parse_queues queues with
+  | Error e -> Error e
+  | Ok q -> (
+    match engine with
+    | "serial" -> Ok Engine.Serial_mode
+    | "sim" -> Ok (Engine.Sim_mode { Sim.procs; queues = q; collect_trace = false })
+    | "parallel" -> Ok (Engine.Parallel_mode { Parallel.processes = procs; queues = q })
+    | e -> Error (Printf.sprintf "unknown engine %S" e))
+
+let setup_logs trace =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if trace then Logs.Debug else Logs.Warning))
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd_impl task engine procs queues learning after bilinear async trace =
+  setup_logs trace;
+  match find_workload task, parse_engine engine procs queues with
+  | Error e, _ | _, Error e -> prerr_endline e; 2
+  | Ok w, Ok engine_mode ->
+    let net_config =
+      if bilinear then
+        { Network.default_config with Network.bilinear = true; bilinear_min_ces = 15 }
+      else Network.default_config
+    in
+    let config =
+      {
+        Agent.default_config with
+        Agent.learning = learning && not after;
+        engine_mode;
+        net_config;
+        trace;
+        async_elaboration = async;
+      }
+    in
+    let extra =
+      if after then begin
+        let learn_cfg = { config with Agent.learning = true; engine_mode = Engine.Serial_mode } in
+        let first = w.Workload.make ~config:learn_cfg () in
+        ignore (Agent.run first);
+        Agent.learned_productions first
+      end
+      else []
+    in
+    let agent = w.Workload.make ~config ~extra () in
+    let summary = Agent.run agent in
+    let totals = Engine.totals (Agent.engine agent) in
+    Format.printf "task            %s@." w.Workload.name;
+    Format.printf "productions     %d (+%d chunks loaded)@."
+      (List.length (Network.productions (Agent.network agent))
+      - List.length summary.Agent.chunks - List.length extra)
+      (List.length extra);
+    Format.printf "decisions       %d@." summary.Agent.decisions;
+    Format.printf "elab cycles     %d@." summary.Agent.elab_cycles;
+    Format.printf "outcome         %s@."
+      (if summary.Agent.halted then "halted (goal reached)"
+       else if summary.Agent.stalled then "stalled"
+       else "decision limit");
+    Format.printf "chunks built    %d@." (List.length summary.Agent.chunks);
+    Format.printf "tasks executed  %d@." totals.Cycle.tasks;
+    Format.printf "uniproc time    %.2f s (simulated)@." (totals.Cycle.serial_us /. 1e6);
+    (match engine_mode with
+    | Engine.Sim_mode _ ->
+      Format.printf "makespan        %.2f s on %d procs -> speedup %.2f@."
+        (totals.Cycle.makespan_us /. 1e6) procs (Cycle.speedup totals)
+    | Engine.Parallel_mode _ ->
+      Format.printf "wall time       %.3f s on %d domains@."
+        (float_of_int totals.Cycle.wall_ns /. 1e9) procs
+    | Engine.Serial_mode ->
+      Format.printf "wall time       %.3f s@." (float_of_int totals.Cycle.wall_ns /. 1e9));
+    List.iter (fun line -> Format.printf "output          %s@." line) summary.Agent.output;
+    0
+
+let run_cmd =
+  let doc = "Run one of the paper's tasks." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_cmd_impl $ task_arg $ engine_arg $ procs_arg $ queues_arg
+      $ learning_arg $ after_arg $ bilinear_arg $ async_arg $ trace_arg)
+
+(* --- tasks ---------------------------------------------------------------- *)
+
+let tasks_cmd_impl () =
+  Format.printf "%-14s %12s %12s %8s@." "task" "productions" "paper-prods" "chunks";
+  List.iter
+    (fun w ->
+      Format.printf "%-14s %12d %12d %8d@." w.Workload.name
+        (Workload.production_count w) w.Workload.paper_productions
+        w.Workload.chunks_expected)
+    workloads;
+  0
+
+let tasks_cmd =
+  let doc = "List the available tasks." in
+  Cmd.v (Cmd.info "tasks" ~doc) Term.(const tasks_cmd_impl $ const ())
+
+(* --- network ----------------------------------------------------------------- *)
+
+let network_cmd_impl task bilinear =
+  match find_workload task with
+  | Error e -> prerr_endline e; 2
+  | Ok w ->
+    let net_config =
+      if bilinear then
+        { Network.default_config with Network.bilinear = true; bilinear_min_ces = 15 }
+      else Network.default_config
+    in
+    let config = { Agent.default_config with Agent.net_config = net_config } in
+    let agent = w.Workload.make ~config () in
+    let net = Agent.network agent in
+    let count pred =
+      Hashtbl.fold (fun _ n acc -> if pred n.Network.kind then acc + 1 else acc)
+        net.Network.beta 0
+    in
+    Format.printf "productions       %d@." (List.length (Network.productions net));
+    Format.printf "alpha nodes       %d@." (Alpha.node_count net.Network.alpha);
+    Format.printf "beta nodes        %d@." (Network.beta_node_count net);
+    Format.printf "  entry           %d@." (count (function Network.Entry -> true | _ -> false));
+    Format.printf "  join            %d@." (count (function Network.Join _ -> true | _ -> false));
+    Format.printf "  negative        %d@." (count (function Network.Neg _ -> true | _ -> false));
+    Format.printf "  ncc (+partner)  %d@."
+      (count (function Network.Ncc _ | Network.Ncc_partner _ -> true | _ -> false));
+    Format.printf "  binary join     %d@." (count (function Network.Bjoin _ -> true | _ -> false));
+    Format.printf "  production      %d@." (count (function Network.Pnode _ -> true | _ -> false));
+    let total_ces =
+      List.fold_left
+        (fun a pm -> a + Production.num_ces pm.Network.meta_production)
+        0 (Network.productions net)
+    in
+    Format.printf "CEs compiled      %d (sharing saves %d two-input nodes)@." total_ces
+      (max 0 (total_ces - Network.two_input_node_count net));
+    0
+
+let network_cmd =
+  let doc = "Show the compiled Rete network of a task." in
+  Cmd.v (Cmd.info "network" ~doc)
+    Term.(const network_cmd_impl $ task_arg $ bilinear_arg)
+
+(* --- report --------------------------------------------------------------------- *)
+
+let report_cmd_impl write_md =
+  Psme_harness.Experiments.print_all Format.std_formatter;
+  (match write_md with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Psme_harness.Experiments.markdown_report ());
+    close_out oc;
+    Format.printf "wrote %s@." path
+  | None -> ());
+  0
+
+let report_cmd =
+  let doc = "Reproduce every table and figure of the paper's evaluation." in
+  let md =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-experiments" ] ~docv:"PATH"
+          ~doc:"Also write the markdown report to $(docv).")
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report_cmd_impl $ md)
+
+(* --- dump ------------------------------------------------------------------------ *)
+
+let dump_cmd_impl task chunks_too =
+  match find_workload task with
+  | Error e -> prerr_endline e; 2
+  | Ok w ->
+    let agent =
+      if chunks_too then begin
+        let a = w.Workload.make () in
+        ignore (Agent.run a);
+        a
+      end
+      else
+        w.Workload.make
+          ~config:{ Agent.default_config with Agent.learning = false }
+          ()
+    in
+    let net = Agent.network agent in
+    List.iter
+      (fun pm ->
+        Format.printf "%a@.@." (Production.pp (Agent.schema agent))
+          pm.Network.meta_production)
+      (Network.productions net);
+    0
+
+let dump_cmd =
+  let doc = "Print a task's full production set in OPS5 syntax." in
+  let chunks =
+    Arg.(value & flag & info [ "with-chunks" ] ~doc:"Run the task first and include its learned chunks.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const dump_cmd_impl $ task_arg $ chunks)
+
+(* --- diagnose -------------------------------------------------------------------- *)
+
+let diagnose_cmd_impl task procs apply =
+  match find_workload task with
+  | Error e -> prerr_endline e; 2
+  | Ok w ->
+    let d = Psme_harness.Diagnose.diagnose ~procs w in
+    Psme_harness.Diagnose.pp Format.std_formatter d;
+    if apply then begin
+      let t = Psme_harness.Diagnose.apply_recommendations w d in
+      match t.Psme_harness.Diagnose.t_applied with
+      | [] -> Format.printf "nothing to apply.@."
+      | remedies ->
+        Format.printf "applied: %s@." (String.concat ", " remedies);
+        Format.printf "speedup: %.2f -> %.2f@." t.Psme_harness.Diagnose.t_before
+          t.Psme_harness.Diagnose.t_after
+    end;
+    0
+
+let diagnose_cmd =
+  let doc =
+    "Diagnose the causes of low match speedups (small cycles, long chains) and \
+     optionally apply the recommended remedies (paper section 7)."
+  in
+  let apply =
+    Arg.(value & flag & info [ "apply" ] ~doc:"Apply the recommendations and re-measure.")
+  in
+  Cmd.v (Cmd.info "diagnose" ~doc)
+    Term.(const diagnose_cmd_impl $ task_arg $ procs_arg $ apply)
+
+(* --- parse ----------------------------------------------------------------------- *)
+
+let parse_cmd_impl file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let schema = Schema.create () in
+  Agent.prepare_schema schema;
+  (try
+     let forms = Parser.parse_program schema src in
+     List.iter
+       (function
+         | Parser.Literalize (cls, attrs) ->
+           Format.printf "literalize %a (%d attributes)@." Sym.pp cls (List.length attrs)
+         | Parser.Prod p ->
+           Format.printf "production %a: %d CEs, %d actions@." Sym.pp p.Production.name
+             (Production.num_ces p)
+             (List.length p.Production.rhs))
+       forms;
+     exit 0
+   with
+  | Parser.Parse_error (msg, { line }) ->
+    Format.eprintf "parse error at line %d: %s@." line msg;
+    exit 2
+  | Lexer.Lex_error (msg, { line }) ->
+    Format.eprintf "lex error at line %d: %s@." line msg;
+    exit 2)
+
+let parse_cmd =
+  let doc = "Parse and validate a production source file." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const parse_cmd_impl $ file)
+
+let main =
+  let doc = "Soar/PSM-E: a learning production system on a parallel matcher" in
+  Cmd.group (Cmd.info "soar_cli" ~doc)
+    [ run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; dump_cmd; parse_cmd ]
+
+let () = exit (Cmd.eval' main)

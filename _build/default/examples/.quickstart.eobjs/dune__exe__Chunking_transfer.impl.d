@@ -1,0 +1,1 @@
+examples/chunking_transfer.ml: Agent Eight_puzzle Format List Psme_engine Psme_soar Psme_workloads

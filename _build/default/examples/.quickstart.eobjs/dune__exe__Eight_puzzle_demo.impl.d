@@ -1,0 +1,1 @@
+examples/eight_puzzle_demo.ml: Agent Array Eight_puzzle Format List Psme_engine Psme_ops5 Psme_soar Psme_support Psme_workloads String

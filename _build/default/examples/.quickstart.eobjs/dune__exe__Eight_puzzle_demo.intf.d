@@ -1,0 +1,1 @@
+examples/eight_puzzle_demo.mli:

@@ -1,0 +1,1 @@
+examples/io_streaming.ml: Agent Cycle Engine Format Io_stream List Parallel Psme_engine Psme_soar Psme_workloads Sim

@@ -1,0 +1,1 @@
+examples/parallel_match.ml: Array Build Conflict_set Cycle Format List Memory Network Parallel Parser Psme_engine Psme_ops5 Psme_rete Psme_support Rng Schema Serial Sim Sym Task Value Wme

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Build Codesize Conflict_set Format List Network Parser Production Psme_engine Psme_ops5 Psme_rete Psme_support Schema Sym Task Token Update Value Wm

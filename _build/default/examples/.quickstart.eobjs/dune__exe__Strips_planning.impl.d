@@ -1,0 +1,1 @@
+examples/strips_planning.ml: Agent Format List Psme_ops5 Psme_soar Psme_workloads Strips

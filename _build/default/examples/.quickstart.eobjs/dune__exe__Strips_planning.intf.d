@@ -1,0 +1,1 @@
+examples/strips_planning.mli:

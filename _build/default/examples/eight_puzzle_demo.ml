@@ -1,0 +1,42 @@
+(* Eight-Puzzle-Soar: solve a scrambled board, watch the moves and the
+   chunks being learned.
+
+   Run with: dune exec examples/eight_puzzle_demo.exe *)
+
+open Psme_soar
+open Psme_workloads
+
+let render { Eight_puzzle.board } =
+  let cell i = if board.(i) = 0 then " " else string_of_int board.(i) in
+  for r = 0 to 2 do
+    Format.printf "    %s %s %s@." (cell (3 * r)) (cell ((3 * r) + 1)) (cell ((3 * r) + 2))
+  done
+
+let () =
+  let instance = Eight_puzzle.scrambled ~seed:14 ~moves:10 in
+  Format.printf "start configuration:@.";
+  render instance;
+  Format.printf "goal configuration:@.";
+  render Eight_puzzle.goal_board;
+  let agent = Eight_puzzle.make_agent ~instance () in
+  let summary = Agent.run agent in
+  Format.printf "@.moves:@.";
+  List.iter
+    (fun line ->
+      if String.length line >= 4 && String.sub line 0 4 = "move" then
+        Format.printf "  %s@." line)
+    summary.Agent.output;
+  Format.printf "@.solved: %b in %d decisions (%d elaboration cycles)@."
+    (Eight_puzzle.solved agent) summary.Agent.decisions summary.Agent.elab_cycles;
+  Format.printf "chunks learned: %d@." (List.length summary.Agent.chunks);
+  List.iteri
+    (fun i (ci : Agent.chunk_info) ->
+      if i < 3 then
+        Format.printf "  %s: %d CEs, %d new nodes, %d modeled bytes@."
+          (Psme_support.Sym.name ci.Agent.ci_prod.Psme_ops5.Production.name)
+          ci.Agent.ci_ces ci.Agent.ci_new_nodes ci.Agent.ci_bytes)
+    summary.Agent.chunks;
+  let totals = Psme_engine.Engine.totals (Agent.engine agent) in
+  Format.printf "match work: %d node activations, %.1f simulated seconds@."
+    totals.Psme_engine.Cycle.tasks
+    (totals.Psme_engine.Cycle.serial_us /. 1e6)

@@ -1,0 +1,82 @@
+(* Quickstart: the paper's Figure 2-1 production, compiled into a Rete
+   network, matched incrementally, and extended at run time (§5.1/§5.2).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Psme_support
+open Psme_ops5
+open Psme_rete
+
+let () =
+  (* 1. Declare classes and write productions in OPS5 syntax. *)
+  let schema = Schema.create () in
+  let productions =
+    Parser.productions schema
+      {|
+(literalize block name color on state)
+(literalize hand state name)
+(literalize place name table)
+
+(p blue-block-is-graspable
+  (block ^name <x> ^color blue)
+  -(block ^on <x>)
+  (hand ^state free)
+  -->
+  (write |block| <x> |is graspable|))
+|}
+  in
+  (* 2. Compile them into a network and attach a working memory. *)
+  let net = Network.create schema in
+  ignore (Build.add_all net productions);
+  let wm = Wm.create () in
+  let add cls pairs =
+    let cls = Sym.intern cls in
+    let fields = Array.make (Schema.arity schema cls) Value.nil in
+    List.iter
+      (fun (a, v) -> fields.(Schema.field_index schema cls (Sym.intern a)) <- v)
+      pairs;
+    let w = Wm.add wm ~cls ~fields in
+    ignore (Psme_engine.Serial.run_changes net [ (Task.Add, w) ]);
+    w
+  in
+  let remove w =
+    Wm.remove wm w;
+    ignore (Psme_engine.Serial.run_changes net [ (Task.Delete, w) ])
+  in
+  let show_cs label =
+    Format.printf "%-28s conflict set: %d instantiation(s)@." label
+      (Conflict_set.size net.Network.cs)
+  in
+  (* 3. Match incrementally as working memory changes. *)
+  let _b1 = add "block" [ ("name", Value.sym "b1"); ("color", Value.sym "blue") ] in
+  show_cs "blue block b1";
+  let _hand = add "hand" [ ("state", Value.sym "free") ] in
+  show_cs "free hand";
+  let blocker = add "block" [ ("name", Value.sym "b2"); ("on", Value.sym "b1") ] in
+  show_cs "b2 stacked on b1";
+  remove blocker;
+  show_cs "b2 removed";
+  (* 4. Add a production at run time and update its state from the
+        current working memory — the paper's chunking substrate. *)
+  let chunk =
+    Parser.parse_production schema
+      {|(p blue-block-on-table
+          (block ^name <x> ^color blue)
+          (place ^name <x> ^table free)
+          -->
+          (write <x> |can go on the table|))|}
+  in
+  let result = Build.add_production net chunk in
+  let tasks = Update.update_tasks net wm result in
+  ignore (Psme_engine.Serial.run_tasks net tasks);
+  Format.printf "added %a at run time: %d new nodes, %d bytes of generated code@."
+    Sym.pp chunk.Production.name
+    (List.length result.Build.new_beta_nodes)
+    (Codesize.bytes_of_addition net result);
+  ignore (add "place" [ ("name", Value.sym "b1"); ("table", Value.sym "free") ]);
+  show_cs "place for b1";
+  Format.printf "instantiations:@.";
+  List.iter
+    (fun i ->
+      Format.printf "  %a %a@." Sym.pp i.Conflict_set.prod Token.pp i.Conflict_set.token)
+    (Conflict_set.to_list net.Network.cs)

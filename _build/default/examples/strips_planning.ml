@@ -1,0 +1,37 @@
+(* Strips-Soar: plan a box-pushing route through rooms with doors (one
+   of them closed), and print the resulting plan.
+
+   Run with: dune exec examples/strips_planning.exe *)
+
+open Psme_soar
+open Psme_workloads
+
+let () =
+  let layout = Strips.default_layout in
+  Format.printf "rooms: %dx%d grid; robot in r%d; %s must reach r%d@." layout.Strips.rows
+    layout.Strips.cols
+    (layout.Strips.robot_room + 1)
+    layout.Strips.goal_box
+    (layout.Strips.goal_room + 1);
+  List.iter
+    (fun (b, r) -> Format.printf "  %s starts in r%d@." b (r + 1))
+    layout.Strips.boxes;
+  let agent = Strips.make_agent ~layout () in
+  let summary = Agent.run agent in
+  Format.printf "@.plan:@.";
+  List.iter
+    (fun line ->
+      if line <> "strips done" then Format.printf "  %s@." line)
+    summary.Agent.output;
+  Format.printf "@.goal reached: %b in %d decisions@." (Strips.solved agent)
+    summary.Agent.decisions;
+  Format.printf "chunks learned: %d (e.g. door/route preferences)@."
+    (List.length summary.Agent.chunks);
+  (* the paper's Figure 6-7 long-chain production is part of this task *)
+  let schema = Psme_ops5.Schema.create () in
+  Agent.prepare_schema schema;
+  let monitor =
+    Psme_ops5.Parser.parse_production schema (Strips.monitor_production layout)
+  in
+  Format.printf "monitor-strips-state: %d condition elements (the paper's long chain)@."
+    (Psme_ops5.Production.num_ces monitor)

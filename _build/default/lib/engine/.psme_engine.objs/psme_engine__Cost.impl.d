@@ -1,0 +1,1 @@
+lib/engine/cost.ml: List Network Psme_rete Runtime

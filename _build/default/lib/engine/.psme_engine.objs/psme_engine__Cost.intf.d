@@ -1,0 +1,1 @@
+lib/engine/cost.mli: Psme_rete

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Conflict_set Cost Cycle List Memory Network Parallel Psme_rete Serial Sim

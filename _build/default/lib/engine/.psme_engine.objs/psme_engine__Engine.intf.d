@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Conflict_set Cost Cycle Network Parallel Psme_ops5 Psme_rete Sim Task

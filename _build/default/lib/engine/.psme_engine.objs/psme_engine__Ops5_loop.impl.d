@@ -1,0 +1,1 @@
+lib/engine/ops5_loop.ml: Action Array Build Cond Conflict_set Cost Engine Hashtbl List Network Printf Production Psme_ops5 Psme_rete Psme_support Schema String Sym Task Token Value Wm Wme

@@ -1,0 +1,1 @@
+lib/engine/ops5_loop.mli: Conflict_set Cost Engine Network Production Psme_ops5 Psme_rete Psme_support Schema Value Wm Wme

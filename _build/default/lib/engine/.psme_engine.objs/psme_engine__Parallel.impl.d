@@ -1,0 +1,1 @@
+lib/engine/parallel.ml: Array Atomic Clock Cost Cycle Domain List Mutex Network Psme_rete Psme_support Runtime Task Vec

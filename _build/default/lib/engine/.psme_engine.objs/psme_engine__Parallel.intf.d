@@ -1,0 +1,1 @@
+lib/engine/parallel.mli: Cost Cycle Network Psme_ops5 Psme_rete Task

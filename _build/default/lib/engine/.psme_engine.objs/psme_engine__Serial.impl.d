@@ -1,0 +1,1 @@
+lib/engine/serial.ml: Clock Cost Cycle List Network Psme_rete Psme_support Runtime Task Vec

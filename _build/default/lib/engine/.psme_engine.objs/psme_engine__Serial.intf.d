@@ -1,0 +1,1 @@
+lib/engine/serial.mli: Conflict_set Cost Cycle Network Psme_ops5 Psme_rete Task

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Array Clock Cost Cycle Event_queue Float List Network Parallel Psme_rete Psme_support Runtime Task Vec

@@ -1,0 +1,1 @@
+lib/engine/sim.mli: Conflict_set Cost Cycle Network Parallel Psme_ops5 Psme_rete Task

@@ -1,0 +1,47 @@
+type stats = {
+  tasks : int;
+  alpha_activations : int;
+  serial_us : float;
+  makespan_us : float;
+  queue_spins : float;
+  failed_pops : int;
+  scanned : int;
+  emitted : int;
+  wall_ns : int;
+  trace : (float * int) array;
+}
+
+let empty =
+  {
+    tasks = 0;
+    alpha_activations = 0;
+    serial_us = 0.;
+    makespan_us = 0.;
+    queue_spins = 0.;
+    failed_pops = 0;
+    scanned = 0;
+    emitted = 0;
+    wall_ns = 0;
+    trace = [||];
+  }
+
+let speedup s = if s.makespan_us <= 0. then 1.0 else s.serial_us /. s.makespan_us
+
+let add a b =
+  {
+    tasks = a.tasks + b.tasks;
+    alpha_activations = a.alpha_activations + b.alpha_activations;
+    serial_us = a.serial_us +. b.serial_us;
+    makespan_us = a.makespan_us +. b.makespan_us;
+    queue_spins = a.queue_spins +. b.queue_spins;
+    failed_pops = a.failed_pops + b.failed_pops;
+    scanned = a.scanned + b.scanned;
+    emitted = a.emitted + b.emitted;
+    wall_ns = a.wall_ns + b.wall_ns;
+    trace = [||];
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "tasks=%d serial=%.0fus makespan=%.0fus speedup=%.2f spins=%.0f failed_pops=%d"
+    s.tasks s.serial_us s.makespan_us (speedup s) s.queue_spins s.failed_pops

@@ -1,0 +1,25 @@
+(** Per-cycle measurements, shared by all engines. *)
+
+type stats = {
+  tasks : int;             (** node activations executed *)
+  alpha_activations : int; (** constant-test activations during seeding *)
+  serial_us : float;       (** sum of task costs: the uniprocessor time *)
+  makespan_us : float;     (** completion time on the engine's processors *)
+  queue_spins : float;     (** spins waiting for task-queue access *)
+  failed_pops : int;       (** pops that found an empty queue *)
+  scanned : int;           (** memory entries scanned by all tasks *)
+  emitted : int;           (** child tasks generated *)
+  wall_ns : int;           (** real elapsed time (monotonic clock) *)
+  trace : (float * int) array;
+      (** (virtual time µs, tasks in system) samples; empty unless the
+          engine was asked to trace *)
+}
+
+val empty : stats
+val speedup : stats -> float
+(** [serial_us / makespan_us]; 1.0 for degenerate cycles. *)
+
+val add : stats -> stats -> stats
+(** Aggregate two cycles (traces are dropped). *)
+
+val pp : Format.formatter -> stats -> unit

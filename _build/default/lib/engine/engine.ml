@@ -1,0 +1,76 @@
+open Psme_rete
+
+type mode =
+  | Serial_mode
+  | Parallel_mode of Parallel.config
+  | Sim_mode of Sim.config
+
+type t = {
+  net : Network.t;
+  mode : mode;
+  cost : Cost.params;
+  mutable history_rev : Cycle.stats list;
+}
+
+let create ?(cost = Cost.default) mode net = { net; mode; cost; history_rev = [] }
+let network t = t.net
+let mode t = t.mode
+
+let record t stats =
+  t.history_rev <- stats :: t.history_rev;
+  stats
+
+let run_changes t changes =
+  Memory.reset_cycle_stats t.net.Network.mem;
+  let stats =
+    match t.mode with
+    | Serial_mode -> Serial.run_changes ~cost:t.cost t.net changes
+    | Parallel_mode cfg -> Parallel.run_changes ~cost:t.cost cfg t.net changes
+    | Sim_mode cfg -> Sim.run_changes ~cost:t.cost cfg t.net changes
+  in
+  record t stats
+
+let run_tasks t tasks =
+  Memory.reset_cycle_stats t.net.Network.mem;
+  let stats =
+    match t.mode with
+    | Serial_mode -> Serial.run_tasks ~cost:t.cost t.net tasks
+    | Parallel_mode cfg -> Parallel.run_tasks ~cost:t.cost cfg t.net tasks
+    | Sim_mode cfg -> Sim.run_tasks ~cost:t.cost cfg t.net tasks
+  in
+  record t stats
+
+let run_changes_async t ~on_inst changes =
+  Memory.reset_cycle_stats t.net.Network.mem;
+  let stats =
+    match t.mode with
+    | Serial_mode -> Serial.run_changes_async ~cost:t.cost t.net ~on_inst changes
+    | Sim_mode cfg -> Sim.run_changes_async ~cost:t.cost cfg t.net ~on_inst changes
+    | Parallel_mode cfg ->
+      (* fall back to barrier-synchronized waves so the callback never
+         runs concurrently with itself *)
+      let total = ref Cycle.empty in
+      let pending = ref changes in
+      let continue_ = ref true in
+      while !continue_ do
+        let batch = !pending in
+        pending := [];
+        let insts_before = Conflict_set.pending t.net.Network.cs in
+        if batch = [] && insts_before = [] then continue_ := false
+        else begin
+          let s = Parallel.run_changes ~cost:t.cost cfg t.net batch in
+          total := Cycle.add !total s;
+          List.iter
+            (fun inst ->
+              Conflict_set.mark_fired t.net.Network.cs inst;
+              pending := !pending @ on_inst inst)
+            (Conflict_set.pending t.net.Network.cs)
+        end
+      done;
+      !total
+  in
+  record t stats
+
+let history t = List.rev t.history_rev
+let reset_history t = t.history_rev <- []
+let totals t = List.fold_left Cycle.add Cycle.empty (history t)

@@ -1,0 +1,201 @@
+open Psme_support
+open Psme_ops5
+open Psme_rete
+
+type strategy =
+  | Lex
+  | Mea
+
+type t = {
+  schema : Schema.t;
+  net : Network.t;
+  eng : Engine.t;
+  wm : Wm.t;
+  strategy : strategy;
+  mutable halted : bool;
+  mutable output_rev : string list;
+  mutable gensym_counter : int;
+}
+
+let create ?(engine = Engine.Serial_mode) ?(cost = Cost.default) ?(strategy = Lex) schema
+    productions =
+  let net = Network.create schema in
+  ignore (Build.add_all net productions);
+  {
+    schema;
+    net;
+    eng = Engine.create ~cost engine net;
+    wm = Wm.create ();
+    strategy;
+    halted = false;
+    output_rev = [];
+    gensym_counter = 0;
+  }
+
+let network t = t.net
+let wm t = t.wm
+let output t = List.rev t.output_rev
+
+let flush t changes = ignore (Engine.run_changes t.eng changes)
+
+let add_wme t ~cls pairs =
+  let cls = Sym.intern cls in
+  let fields = Array.make (Schema.arity t.schema cls) Value.nil in
+  List.iter
+    (fun (attr, v) -> fields.(Schema.field_index t.schema cls (Sym.intern attr)) <- v)
+    pairs;
+  let w = Wm.add t.wm ~cls ~fields in
+  flush t [ (Task.Add, w) ];
+  w
+
+let remove_wme t w =
+  Wm.remove t.wm w;
+  flush t [ (Task.Delete, w) ]
+
+(* --- LEX conflict resolution ------------------------------------------ *)
+
+(* Recency: compare the sorted-descending timetag vectors
+   lexicographically; more recent dominates. Specificity: total number
+   of tests in the production's LHS. *)
+let recency_key (inst : Conflict_set.inst) =
+  let tags = Array.map (fun w -> w.Wme.timetag) inst.Conflict_set.token.Token.wmes in
+  Array.sort (fun a b -> compare b a) tags;
+  tags
+
+let rec compare_tag_vectors a b i =
+  match i >= Array.length a, i >= Array.length b with
+  | true, true -> 0
+  | true, false -> -1  (* shorter, older: loses *)
+  | false, true -> 1
+  | false, false ->
+    let c = compare a.(i) b.(i) in
+    if c <> 0 then c else compare_tag_vectors a b (i + 1)
+
+let specificity t (inst : Conflict_set.inst) =
+  match Network.find_production t.net inst.Conflict_set.prod with
+  | None -> 0
+  | Some pm ->
+    let rec tests_of_cond = function
+      | Cond.Pos ce | Cond.Neg ce -> List.length ce.Cond.tests
+      | Cond.Ncc group -> List.fold_left (fun a c -> a + tests_of_cond c) 0 group
+    in
+    List.fold_left
+      (fun a c -> a + tests_of_cond c)
+      0 pm.Network.meta_production.Production.lhs
+
+let first_ce_recency (inst : Conflict_set.inst) =
+  (Token.wme inst.Conflict_set.token 0).Wme.timetag
+
+let select t =
+  let candidates = Conflict_set.pending t.net.Network.cs in
+  let better a b =
+    (* MEA: the first condition element (the goal/context element in
+       means-ends analysis) dominates *)
+    let mea =
+      match t.strategy with
+      | Mea -> compare (first_ce_recency a) (first_ce_recency b)
+      | Lex -> 0
+    in
+    if mea <> 0 then mea > 0
+    else
+    let c = compare_tag_vectors (recency_key a) (recency_key b) 0 in
+    if c <> 0 then c > 0
+    else
+      let c = compare (specificity t a) (specificity t b) in
+      if c <> 0 then c > 0
+      else Conflict_set.inst_equal a b || compare a.Conflict_set.prod b.Conflict_set.prod > 0
+  in
+  List.fold_left
+    (fun acc inst ->
+      match acc with
+      | None -> Some inst
+      | Some best -> if better inst best then Some inst else acc)
+    None candidates
+
+(* --- firing --------------------------------------------------------------- *)
+
+let fire t (inst : Conflict_set.inst) =
+  Conflict_set.mark_fired t.net.Network.cs inst;
+  let pm =
+    match Network.find_production t.net inst.Conflict_set.prod with
+    | Some pm -> pm
+    | None -> invalid_arg "fired instantiation of unknown production"
+  in
+  let prod = pm.Network.meta_production in
+  let bindings = Network.bindings_of t.net inst.Conflict_set.prod inst.Conflict_set.token in
+  let gensyms = Hashtbl.create 4 in
+  let resolve = function
+    | Action.Tconst v -> v
+    | Action.Tvar v -> (
+      match List.assoc_opt v bindings with
+      | Some value -> value
+      | None -> invalid_arg (Printf.sprintf "unbound RHS variable <%s>" v))
+    | Action.Tgensym p -> (
+      match Hashtbl.find_opt gensyms p with
+      | Some v -> v
+      | None ->
+        t.gensym_counter <- t.gensym_counter + 1;
+        let v = Value.sym (Printf.sprintf "%s%d*gen" p t.gensym_counter) in
+        Hashtbl.replace gensyms p v;
+        v)
+  in
+  let changes = ref [] in
+  let matched_wme i = Token.wme inst.Conflict_set.token (i - 1) in
+  List.iter
+    (fun action ->
+      match action with
+      | Action.Make (cls, assigns) ->
+        let fields = Array.make (Schema.arity t.schema cls) Value.nil in
+        List.iter (fun (f, term) -> fields.(f) <- resolve term) assigns;
+        let w = Wm.add t.wm ~cls ~fields in
+        changes := (Task.Add, w) :: !changes
+      | Action.Remove i ->
+        let w = matched_wme i in
+        if Wm.mem t.wm w then begin
+          Wm.remove t.wm w;
+          changes := (Task.Delete, w) :: !changes
+        end
+      | Action.Modify (i, assigns) ->
+        let old = matched_wme i in
+        if Wm.mem t.wm old then begin
+          Wm.remove t.wm old;
+          changes := (Task.Delete, old) :: !changes;
+          let fields = Array.copy old.Wme.fields in
+          List.iter (fun (f, term) -> fields.(f) <- resolve term) assigns;
+          let w = Wm.add t.wm ~cls:old.Wme.cls ~fields in
+          changes := (Task.Add, w) :: !changes
+        end
+      | Action.Write terms ->
+        let render v = match v with Value.Str s -> s | _ -> Value.to_string v in
+        t.output_rev <-
+          String.concat " " (List.map (fun term -> render (resolve term)) terms)
+          :: t.output_rev
+      | Action.Halt -> t.halted <- true)
+    prod.Production.rhs;
+  flush t (List.rev !changes)
+
+type stop_reason =
+  | Halted
+  | Quiescent
+  | Cycle_limit
+
+let run ?(max_cycles = 10_000) t =
+  let fired = ref 0 in
+  let reason = ref Cycle_limit in
+  (try
+     while !fired < max_cycles do
+       if t.halted then begin
+         reason := Halted;
+         raise Exit
+       end;
+       match select t with
+       | None ->
+         reason := Quiescent;
+         raise Exit
+       | Some inst ->
+         fire t inst;
+         incr fired
+     done
+   with Exit -> ());
+  if t.halted then reason := Halted;
+  (!reason, !fired)

@@ -1,0 +1,51 @@
+(** The OPS5 recognize–act cycle (§2.1): match, conflict-resolve with
+    the LEX strategy, fire one instantiation.
+
+    This is the substrate PSM-E originally ran — unlike Soar it fires a
+    single instantiation per cycle, chosen by refraction, recency of the
+    matched timetags, and specificity. [remove] and [modify] RHS actions
+    are supported (Soar productions only add). *)
+
+open Psme_support
+open Psme_ops5
+open Psme_rete
+
+
+type t
+
+(** OPS5's two conflict-resolution strategies. Both apply refraction
+    first; LEX then orders by recency of all matched timetags, MEA by
+    the recency of the wme matching the {e first} condition element
+    before the LEX ordering (means-ends analysis: goal elements first). *)
+type strategy =
+  | Lex
+  | Mea
+
+val create :
+  ?engine:Engine.mode ->
+  ?cost:Cost.params ->
+  ?strategy:strategy ->
+  Schema.t ->
+  Production.t list ->
+  t
+val network : t -> Network.t
+val wm : t -> Wm.t
+val output : t -> string list
+(** [(write ...)] output so far, oldest first. *)
+
+val add_wme : t -> cls:string -> (string * Value.t) list -> Wme.t
+(** Insert a wme and match immediately (the OPS5 top level's [make]). *)
+
+val remove_wme : t -> Wme.t -> unit
+
+type stop_reason =
+  | Halted            (** a production executed [(halt)] *)
+  | Quiescent         (** empty conflict set *)
+  | Cycle_limit
+
+val run : ?max_cycles:int -> t -> stop_reason * int
+(** Run recognize–act cycles; returns the stop reason and the number of
+    productions fired. *)
+
+val select : t -> Conflict_set.inst option
+(** The instantiation LEX would fire next (exposed for tests). *)

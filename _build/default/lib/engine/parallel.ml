@@ -1,0 +1,113 @@
+open Psme_support
+open Psme_rete
+
+type queue_mode =
+  | Single_queue
+  | Multiple_queues
+
+type config = {
+  processes : int;
+  queues : queue_mode;
+}
+
+type queue = {
+  lock : Mutex.t;
+  items : Task.t Vec.t;
+}
+
+let make_queue () = { lock = Mutex.create (); items = Vec.create () }
+
+let try_pop q =
+  if Mutex.try_lock q.lock then begin
+    let item = Vec.pop q.items in
+    Mutex.unlock q.lock;
+    item
+  end
+  else None
+
+let push q task =
+  Mutex.protect q.lock (fun () -> Vec.push q.items task)
+
+let run_tasks ?(cost = Cost.default) config net seed =
+  let t0 = Clock.now_ns () in
+  let nq = match config.queues with Single_queue -> 1 | Multiple_queues -> config.processes in
+  let queues = Array.init nq (fun _ -> make_queue ()) in
+  (* outstanding = queued + currently executing; the cycle ends at 0. *)
+  let outstanding = Atomic.make 0 in
+  let tasks_done = Atomic.make 0 in
+  let scanned = Atomic.make 0 in
+  let emitted = Atomic.make 0 in
+  let failed_pops = Atomic.make 0 in
+  let serial_us_bits = Atomic.make 0 in
+  (* accumulate µs as integer tenths to stay atomic *)
+  List.iteri
+    (fun i task ->
+      Atomic.incr outstanding;
+      push queues.(i mod nq) task)
+    seed;
+  let worker me () =
+    let my_q = me mod nq in
+    let rec loop () =
+      if Atomic.get outstanding = 0 then ()
+      else begin
+        let task =
+          let rec scan k =
+            if k >= nq then None
+            else
+              match try_pop queues.((my_q + k) mod nq) with
+              | Some t -> Some t
+              | None ->
+                Atomic.incr failed_pops;
+                scan (k + 1)
+          in
+          scan 0
+        in
+        (match task with
+        | None -> Domain.cpu_relax ()
+        | Some task ->
+          let kind = (Network.node net (Task.node task)).Network.kind in
+          let o = Runtime.exec net task in
+          Atomic.incr tasks_done;
+          ignore (Atomic.fetch_and_add scanned o.Runtime.scanned);
+          let kids = o.Runtime.children in
+          let nkids = List.length kids in
+          ignore (Atomic.fetch_and_add emitted nkids);
+          ignore
+            (Atomic.fetch_and_add serial_us_bits
+               (int_of_float (10. *. Cost.task_cost cost kind o)));
+          ignore (Atomic.fetch_and_add outstanding nkids);
+          List.iter (push queues.(my_q)) kids;
+          Atomic.decr outstanding);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains =
+    List.init (max 1 config.processes) (fun i -> Domain.spawn (worker i))
+  in
+  List.iter Domain.join domains;
+  let wall_ns = Clock.now_ns () - t0 in
+  {
+    Cycle.empty with
+    tasks = Atomic.get tasks_done;
+    serial_us = float_of_int (Atomic.get serial_us_bits) /. 10.;
+    makespan_us = float_of_int wall_ns /. 1000.;
+    failed_pops = Atomic.get failed_pops;
+    scanned = Atomic.get scanned;
+    emitted = Atomic.get emitted;
+    wall_ns;
+  }
+
+let run_changes ?(cost = Cost.default) config net changes =
+  let alpha = ref 0 in
+  let seed =
+    List.concat_map
+      (fun (flag, w) ->
+        let tasks, acts = Runtime.seed_wme_change net flag w in
+        alpha := !alpha + acts;
+        tasks)
+      changes
+  in
+  let stats = run_tasks ~cost config net seed in
+  { stats with Cycle.alpha_activations = !alpha }

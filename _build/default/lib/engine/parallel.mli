@@ -1,0 +1,31 @@
+(** The real parallel match engine (OCaml 5 domains).
+
+    Reproduces the PSM-E process structure: P match processes pull node
+    activations from shared task queues (one global queue, or one per
+    process with scanning/stealing), execute them against the shared
+    line-locked memories, and push the successor activations back. A
+    cycle ends when the outstanding-task count reaches zero.
+
+    Correctness does not depend on scheduling: every engine must produce
+    the same conflict set as {!Serial} (the property tests check this).
+    On a single-core container the wall-clock speedup is not meaningful;
+    the {!Sim} engine produces the paper's speedup figures. *)
+
+open Psme_rete
+
+type queue_mode =
+  | Single_queue
+  | Multiple_queues
+
+type config = {
+  processes : int;   (** match processes (not counting the caller) *)
+  queues : queue_mode;
+}
+
+val run_tasks : ?cost:Cost.params -> config -> Network.t -> Task.t list -> Cycle.stats
+val run_changes :
+  ?cost:Cost.params ->
+  config ->
+  Network.t ->
+  (Task.flag * Psme_ops5.Wme.t) list ->
+  Cycle.stats

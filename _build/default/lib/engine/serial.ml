@@ -1,0 +1,101 @@
+open Psme_support
+open Psme_rete
+
+let run_tasks ?(cost = Cost.default) net seed =
+  let t0 = Clock.now_ns () in
+  let stack = Vec.create () in
+  List.iter (Vec.push stack) seed;
+  let tasks = ref 0 in
+  let serial_us = ref 0. in
+  let scanned = ref 0 in
+  let emitted = ref 0 in
+  let rec drain () =
+    match Vec.pop stack with
+    | None -> ()
+    | Some task ->
+      let kind = (Network.node net (Task.node task)).Network.kind in
+      let o = Runtime.exec net task in
+      incr tasks;
+      serial_us := !serial_us +. Cost.task_cost cost kind o;
+      scanned := !scanned + o.Runtime.scanned;
+      emitted := !emitted + List.length o.Runtime.children;
+      List.iter (Vec.push stack) o.Runtime.children;
+      drain ()
+  in
+  drain ();
+  {
+    Cycle.empty with
+    tasks = !tasks;
+    serial_us = !serial_us;
+    makespan_us = !serial_us;
+    scanned = !scanned;
+    emitted = !emitted;
+    wall_ns = Clock.now_ns () - t0;
+  }
+
+let run_changes_async ?(cost = Cost.default) net ~on_inst changes =
+  let t0 = Clock.now_ns () in
+  let alpha = ref 0 in
+  let stack = Vec.create () in
+  let seed flag w =
+    let tasks, acts = Runtime.seed_wme_change net flag w in
+    alpha := !alpha + acts;
+    List.iter (Vec.push stack) tasks
+  in
+  List.iter (fun (flag, w) -> seed flag w) changes;
+  let tasks = ref 0 in
+  let serial_us = ref 0. in
+  let scanned = ref 0 in
+  let emitted = ref 0 in
+  let rec drain () =
+    match Vec.pop stack with
+    | None -> ()
+    | Some task ->
+      let kind = (Network.node net (Task.node task)).Network.kind in
+      let o = Runtime.exec net task in
+      incr tasks;
+      serial_us := !serial_us +. Cost.task_cost cost kind o;
+      scanned := !scanned + o.Runtime.scanned;
+      emitted := !emitted + List.length o.Runtime.children;
+      List.iter (Vec.push stack) o.Runtime.children;
+      List.iter
+        (fun (flag, inst) ->
+          match flag with
+          | Task.Add ->
+            serial_us := !serial_us +. cost.Cost.fire_us;
+            List.iter (fun (f, w) -> seed f w) (on_inst inst)
+          | Task.Delete -> ())
+        o.Runtime.insts;
+      drain ()
+  in
+  drain ();
+  let alpha_us = cost.Cost.alpha_act_us *. float_of_int !alpha in
+  {
+    Cycle.empty with
+    tasks = !tasks;
+    alpha_activations = !alpha;
+    serial_us = !serial_us +. alpha_us;
+    makespan_us = !serial_us +. alpha_us;
+    scanned = !scanned;
+    emitted = !emitted;
+    wall_ns = Clock.now_ns () - t0;
+  }
+
+let run_changes ?(cost = Cost.default) net changes =
+  let alpha = ref 0 in
+  let seed =
+    List.concat_map
+      (fun (flag, w) ->
+        let tasks, acts = Runtime.seed_wme_change net flag w in
+        alpha := !alpha + acts;
+        tasks)
+      changes
+  in
+  let stats = run_tasks ~cost net seed in
+  let alpha_us = cost.Cost.alpha_act_us *. float_of_int !alpha in
+  {
+    stats with
+    Cycle.alpha_activations = !alpha;
+    serial_us = stats.Cycle.serial_us +. alpha_us;
+    makespan_us = stats.Cycle.makespan_us +. alpha_us;
+  }

@@ -1,0 +1,33 @@
+(** Reference engine: one process, immediate execution.
+
+    Defines the semantics the parallel and simulated engines must
+    reproduce, and the uniprocessor times the paper's speedups are
+    computed against. *)
+
+open Psme_rete
+
+val run_tasks : ?cost:Cost.params -> Network.t -> Task.t list -> Cycle.stats
+(** Process the given activations and everything they generate, LIFO,
+    until quiescent. *)
+
+val run_changes :
+  ?cost:Cost.params ->
+  Network.t ->
+  (Task.flag * Psme_ops5.Wme.t) list ->
+  Cycle.stats
+(** Buffer a cycle's wme changes through the alpha network, then match
+    to quiescence (the paper's corrected cycle discipline: the match
+    starts only after all wme changes of the cycle are in). *)
+
+val run_changes_async :
+  ?cost:Cost.params ->
+  Network.t ->
+  on_inst:(Conflict_set.inst -> (Task.flag * Psme_ops5.Wme.t) list) ->
+  (Task.flag * Psme_ops5.Wme.t) list ->
+  Cycle.stats
+(** Asynchronous elaboration (paper §7): whenever a P-node activation
+    adds an instantiation, [on_inst] fires it immediately and its wme
+    changes join the same episode — the whole elaboration phase matches
+    as one continuous task stream instead of barrier-separated cycles.
+    Soar productions only add wmes, so the callback's changes must be
+    additions. *)

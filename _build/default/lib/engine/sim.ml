@@ -1,0 +1,213 @@
+open Psme_support
+open Psme_rete
+
+type config = {
+  procs : int;
+  queues : Parallel.queue_mode;
+  collect_trace : bool;
+}
+
+type squeue = {
+  items : Task.t Vec.t;
+  mutable busy_until : float;
+}
+
+type event =
+  | Try_pop of int  (** processor becomes ready to look for work *)
+  | Finish of { proc : int; children : Task.t list }
+  | Inject of { proc : int; tasks : Task.t list }
+      (** the control process delivers the wme changes of a fired
+          instantiation (asynchronous elaboration, §7) *)
+
+let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
+  let t0 = Clock.now_ns () in
+  let nq =
+    match config.queues with
+    | Parallel.Single_queue -> 1
+    | Parallel.Multiple_queues -> max 1 config.procs
+  in
+  let queues = Array.init nq (fun _ -> { items = Vec.create (); busy_until = 0. }) in
+  let outstanding = ref 0 in
+  List.iteri
+    (fun i task ->
+      incr outstanding;
+      Vec.push queues.(i mod nq).items task)
+    seed;
+  let events = Event_queue.create () in
+  for p = 0 to config.procs - 1 do
+    Event_queue.add events ~time:0. (Try_pop p)
+  done;
+  let tasks_done = ref 0 in
+  let serial_us = ref 0. in
+  let scanned = ref 0 in
+  let emitted = ref 0 in
+  let spins = ref 0. in
+  let failed_pops = ref 0 in
+  let makespan = ref 0. in
+  let alpha = ref 0 in
+  let pending_injections = ref 0 in
+  let trace = Vec.create () in
+  let sample time =
+    if config.collect_trace then Vec.push trace (time, !outstanding)
+  in
+  sample 0.;
+  (* Exclusive access to a queue: wait until it is free, charge the
+     wait as lock spins, occupy it for one operation. Returns the time
+     at which the operation completes. *)
+  let queue_access q ~at =
+    let start = Float.max at q.busy_until in
+    spins := !spins +. ((start -. at) /. cost.Cost.spin_unit_us);
+    q.busy_until <- start +. cost.Cost.queue_op_us;
+    q.busy_until
+  in
+  let my_queue p = p mod nq in
+  let handle time = function
+    | Inject { proc; tasks } ->
+      let q = queues.(my_queue proc) in
+      let t =
+        List.fold_left
+          (fun t task ->
+            let t = queue_access q ~at:t in
+            Vec.push q.items task;
+            incr outstanding;
+            t)
+          time tasks
+      in
+      decr pending_injections;
+      sample t;
+      makespan := Float.max !makespan t
+    | Finish { proc; children } ->
+      (* Push the generated tasks onto this process's queue, one queue
+         operation each, then account for the finished task and go look
+         for more work. *)
+      let q = queues.(my_queue proc) in
+      let t =
+        List.fold_left
+          (fun t task ->
+            let t = queue_access q ~at:t in
+            Vec.push q.items task;
+            incr outstanding;
+            t)
+          time children
+      in
+      decr outstanding;
+      sample t;
+      makespan := Float.max !makespan t;
+      Event_queue.add events ~time:t (Try_pop proc)
+    | Try_pop proc ->
+      if !outstanding > 0 || !pending_injections > 0 then begin
+        (* Scan queues starting from our own; each probe is a queue
+           operation; an empty probe is a failed pop. *)
+        let rec scan k t =
+          if k >= nq then begin
+            (* Nothing anywhere: poll again shortly. *)
+            Event_queue.add events ~time:(t +. cost.Cost.poll_us) (Try_pop proc)
+          end
+          else begin
+            let q = queues.((my_queue proc + k) mod nq) in
+            let t = queue_access q ~at:t in
+            match Vec.pop q.items with
+            | None ->
+              incr failed_pops;
+              scan (k + 1) t
+            | Some task ->
+              let kind = (Network.node net (Task.node task)).Network.kind in
+              let o = Runtime.exec net task in
+              incr tasks_done;
+              scanned := !scanned + o.Runtime.scanned;
+              emitted := !emitted + List.length o.Runtime.children;
+              let c = Cost.task_cost cost kind o in
+              serial_us := !serial_us +. c;
+              (* asynchronous elaboration: fire newly added
+                 instantiations now; their wme changes are injected by
+                 the control process after the firing cost *)
+              (match on_inst with
+              | None -> ()
+              | Some fire ->
+                List.iter
+                  (fun (flag, inst) ->
+                    match flag with
+                    | Task.Add ->
+                      let changes = fire inst in
+                      let injected =
+                        List.concat_map
+                          (fun (f, w) ->
+                            let tasks, acts = Runtime.seed_wme_change net f w in
+                            alpha := !alpha + acts;
+                            tasks)
+                          changes
+                      in
+                      serial_us := !serial_us +. cost.Cost.fire_us;
+                      if injected <> [] then begin
+                        incr pending_injections;
+                        Event_queue.add events
+                          ~time:(t +. c +. cost.Cost.fire_us)
+                          (Inject { proc; tasks = injected })
+                      end
+                    | Task.Delete -> ())
+                  o.Runtime.insts);
+              sample t;
+              Event_queue.add events ~time:(t +. c)
+                (Finish { proc; children = o.Runtime.children })
+          end
+        in
+        scan 0 time
+      end
+    (* outstanding = 0: the cycle is over; the process stops. *)
+  in
+  let rec loop () =
+    match Event_queue.pop events with
+    | None -> ()
+    | Some (time, ev) ->
+      handle time ev;
+      loop ()
+  in
+  loop ();
+  sample !makespan;
+  {
+    Cycle.tasks = !tasks_done;
+    alpha_activations = !alpha;
+    serial_us = !serial_us;
+    makespan_us = !makespan;
+    queue_spins = !spins;
+    failed_pops = !failed_pops;
+    scanned = !scanned;
+    emitted = !emitted;
+    wall_ns = Clock.now_ns () - t0;
+    trace = Vec.to_array trace;
+  }
+
+let run_tasks ?cost config net seed = run_tasks_gen ?cost ?on_inst:None config net seed
+
+let seed_all net changes =
+  let alpha = ref 0 in
+  let tasks =
+    List.concat_map
+      (fun (flag, w) ->
+        let tasks, acts = Runtime.seed_wme_change net flag w in
+        alpha := !alpha + acts;
+        tasks)
+      changes
+  in
+  (tasks, !alpha)
+
+let finish_stats cost stats extra_alpha =
+  let alpha = stats.Cycle.alpha_activations + extra_alpha in
+  let alpha_us = cost.Cost.alpha_act_us *. float_of_int extra_alpha in
+  (* The control process performs the buffered wme changes before the
+     match starts (the paper's corrected discipline); charge that
+     constant-test pass to both the serial and the parallel time. *)
+  {
+    stats with
+    Cycle.alpha_activations = alpha;
+    serial_us = stats.Cycle.serial_us +. alpha_us;
+    makespan_us = stats.Cycle.makespan_us +. alpha_us;
+  }
+
+let run_changes ?(cost = Cost.default) config net changes =
+  let seed, alpha = seed_all net changes in
+  finish_stats cost (run_tasks ~cost config net seed) alpha
+
+let run_changes_async ?(cost = Cost.default) config net ~on_inst changes =
+  let seed, alpha = seed_all net changes in
+  finish_stats cost (run_tasks_gen ~cost ~on_inst config net seed) alpha

@@ -1,0 +1,1 @@
+lib/harness/diagnose.ml: Agent Array Cycle Engine Format List Network Parallel Psme_engine Psme_ops5 Psme_rete Psme_soar Psme_support Psme_workloads Sim Workload

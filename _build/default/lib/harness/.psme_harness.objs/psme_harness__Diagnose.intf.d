@@ -1,0 +1,1 @@
+lib/harness/diagnose.mli: Format Psme_workloads Workload

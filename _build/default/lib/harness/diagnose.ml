@@ -1,0 +1,156 @@
+open Psme_rete
+open Psme_engine
+open Psme_soar
+open Psme_workloads
+
+type diagnosis = {
+  d_task : string;
+  d_procs : int;
+  d_cycles : int;
+  d_small_cycles : int;
+  d_long_tail_cycles : int;
+  d_avg_tail_ratio : float;
+  d_deepest : (string * int) list;
+  d_recommend_bilinear : bool;
+  d_recommend_async : bool;
+  d_baseline_speedup : float;
+}
+
+let small_cycle_tasks = 50
+let tail_concurrency = 2
+let tail_ratio_threshold = 0.4
+let deep_chain_threshold = 25
+
+(* Share of a cycle's virtual time spent with at most [tail_concurrency]
+   tasks in the system, from the simulator's (time, outstanding) trace. *)
+let tail_ratio (s : Cycle.stats) =
+  let tr = Array.to_list s.Cycle.trace in
+  let tr = List.sort (fun (a, _) (b, _) -> compare a b) tr in
+  match tr with
+  | [] | [ _ ] -> 0.
+  | (t0, _) :: _ ->
+    let rec walk acc prev_t prev_n = function
+      | [] -> (acc, prev_t)
+      | (t, n) :: rest ->
+        let acc = if prev_n <= tail_concurrency then acc +. (t -. prev_t) else acc in
+        walk acc t n rest
+    in
+    let low_time, t_end = walk 0. t0 max_int (List.tl tr) in
+    let span = t_end -. t0 in
+    if span <= 0. then 0. else low_time /. span
+
+let chain_depth net pnode_id =
+  let rec go id acc =
+    match (Network.node net id).Network.parent with
+    | None -> acc
+    | Some p -> go p (acc + 1)
+  in
+  go pnode_id 1
+
+let speedup stats =
+  let s = List.fold_left (fun a c -> a +. c.Cycle.serial_us) 0. stats in
+  let m = List.fold_left (fun a c -> a +. c.Cycle.makespan_us) 0. stats in
+  if m <= 0. then 1. else s /. m
+
+let run_without (w : Workload.t) ~procs ~trace ~async ~bilinear =
+  let net_config =
+    if bilinear then
+      { Network.default_config with Network.bilinear = true; bilinear_min_ces = 15 }
+    else Network.default_config
+  in
+  let config =
+    {
+      Agent.default_config with
+      Agent.learning = false;
+      async_elaboration = async;
+      net_config;
+      engine_mode =
+        Engine.Sim_mode
+          { Sim.procs; queues = Parallel.Multiple_queues; collect_trace = trace };
+    }
+  in
+  let agent = w.Workload.make ~config () in
+  let summary = Agent.run agent in
+  (agent, summary)
+
+let diagnose ?(procs = 11) (w : Workload.t) =
+  let agent, summary = run_without w ~procs ~trace:true ~async:false ~bilinear:false in
+  let cycles = List.filter (fun (s : Cycle.stats) -> s.Cycle.tasks > 0) summary.Agent.match_stats in
+  let small =
+    List.length (List.filter (fun (s : Cycle.stats) -> s.Cycle.tasks < small_cycle_tasks) cycles)
+  in
+  let big = List.filter (fun (s : Cycle.stats) -> s.Cycle.tasks >= small_cycle_tasks) cycles in
+  let ratios = List.map tail_ratio big in
+  let long_tails = List.length (List.filter (fun r -> r > tail_ratio_threshold) ratios) in
+  let avg_ratio =
+    match ratios with
+    | [] -> 0.
+    | _ -> List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios)
+  in
+  let net = Agent.network agent in
+  let deepest =
+    Network.productions net
+    |> List.map (fun pm ->
+           ( Psme_support.Sym.name pm.Network.meta_production.Psme_ops5.Production.name,
+             chain_depth net pm.Network.pnode ))
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  let has_deep = List.exists (fun (_, d) -> d >= deep_chain_threshold) deepest in
+  {
+    d_task = w.Workload.name;
+    d_procs = procs;
+    d_cycles = List.length cycles;
+    d_small_cycles = small;
+    d_long_tail_cycles = long_tails;
+    d_avg_tail_ratio = avg_ratio;
+    d_deepest = deepest;
+    (* a chain deep enough to restructure, plus any sign of serial tails *)
+    d_recommend_bilinear = has_deep && (long_tails > 0 || avg_ratio > 0.05);
+    (* synchronization overhead dominates when a quarter of the cycles
+       are too small to keep the processes busy *)
+    d_recommend_async =
+      float_of_int small > 0.25 *. float_of_int (max 1 (List.length cycles));
+    d_baseline_speedup = speedup summary.Agent.match_stats;
+  }
+
+type tuning_result = {
+  t_before : float;
+  t_after : float;
+  t_applied : string list;
+}
+
+let apply_recommendations (w : Workload.t) d =
+  let applied =
+    (if d.d_recommend_bilinear then [ "bilinear networks (>= 15 CEs)" ] else [])
+    @ (if d.d_recommend_async then [ "asynchronous elaboration" ] else [])
+  in
+  match applied with
+  | [] -> { t_before = d.d_baseline_speedup; t_after = d.d_baseline_speedup; t_applied = [] }
+  | _ ->
+    let _, summary =
+      run_without w ~procs:d.d_procs ~trace:false ~async:d.d_recommend_async
+        ~bilinear:d.d_recommend_bilinear
+    in
+    {
+      t_before = d.d_baseline_speedup;
+      t_after = speedup summary.Agent.match_stats;
+      t_applied = applied;
+    }
+
+let pp ppf d =
+  Format.fprintf ppf "task             %s (%d simulated processes)@." d.d_task d.d_procs;
+  Format.fprintf ppf "cycles           %d (%d small, %d with long serial tails)@."
+    d.d_cycles d.d_small_cycles d.d_long_tail_cycles;
+  Format.fprintf ppf "avg tail ratio   %.2f of large-cycle time at <=%d concurrent tasks@."
+    d.d_avg_tail_ratio tail_concurrency;
+  Format.fprintf ppf "baseline speedup %.2f@." d.d_baseline_speedup;
+  Format.fprintf ppf "deepest chains:@.";
+  List.iter (fun (name, depth) -> Format.fprintf ppf "  %-40s depth %d@." name depth)
+    d.d_deepest;
+  Format.fprintf ppf "recommendations: %s@."
+    (match d.d_recommend_bilinear, d.d_recommend_async with
+    | true, true -> "bilinear networks + asynchronous elaboration"
+    | true, false -> "bilinear networks for the long chains"
+    | false, true -> "asynchronous elaboration (small cycles dominate)"
+    | false, false -> "none (parallelism is healthy)")

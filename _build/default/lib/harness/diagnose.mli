@@ -1,0 +1,43 @@
+(** Automatic diagnosis of low speedups (paper §7).
+
+    The paper proposes equipping the system with diagnostic tools that
+    deduce why a run parallelizes poorly — e.g. by looking at the last
+    few node activations of low-speedup cycles — and make adaptive
+    changes such as introducing bilinear networks. This module does
+    exactly that: it runs a task on the traced simulator, classifies
+    each cycle (small cycle / long serial tail / healthy), ranks the
+    deepest compiled chains, and emits recommendations; it can then
+    apply them and report the before/after speedup. *)
+
+open Psme_workloads
+
+type diagnosis = {
+  d_task : string;
+  d_procs : int;
+  d_cycles : int;
+  d_small_cycles : int;      (** cycles with too few tasks to parallelize *)
+  d_long_tail_cycles : int;  (** cycles ending in a near-serial tail *)
+  d_avg_tail_ratio : float;
+      (** mean share of a large cycle's makespan spent with <= 2 tasks
+          in the system — the Figure 6-6 signature *)
+  d_deepest : (string * int) list;
+      (** the five deepest production chains (name, beta depth) *)
+  d_recommend_bilinear : bool;
+  d_recommend_async : bool;
+  d_baseline_speedup : float;
+}
+
+val diagnose : ?procs:int -> Workload.t -> diagnosis
+(** Runs the task (without chunking) on the traced simulator. *)
+
+type tuning_result = {
+  t_before : float;  (** baseline speedup at the diagnosed processor count *)
+  t_after : float;   (** with the recommended remedies applied *)
+  t_applied : string list;  (** which remedies were applied *)
+}
+
+val apply_recommendations : Workload.t -> diagnosis -> tuning_result
+(** The adaptive step: rebuild with bilinear networks for long-chain
+    productions and/or asynchronous elaboration, and re-measure. *)
+
+val pp : Format.formatter -> diagnosis -> unit

@@ -1,0 +1,1 @@
+lib/ops5/action.ml: Format List Psme_support Schema Sym Value

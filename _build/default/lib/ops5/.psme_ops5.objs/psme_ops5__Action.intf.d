@@ -1,0 +1,1 @@
+lib/ops5/action.mli: Format Psme_support Schema Sym Value

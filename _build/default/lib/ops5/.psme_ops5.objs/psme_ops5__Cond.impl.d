@@ -1,0 +1,1 @@
+lib/ops5/cond.ml: Format List Psme_support Schema Stdlib Sym Value

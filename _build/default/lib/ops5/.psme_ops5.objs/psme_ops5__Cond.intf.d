@@ -1,0 +1,1 @@
+lib/ops5/cond.mli: Format Psme_support Schema Sym Value

@@ -1,0 +1,1 @@
+lib/ops5/lexer.ml: Array Cond Format List String

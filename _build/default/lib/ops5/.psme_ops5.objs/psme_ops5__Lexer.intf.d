@@ -1,0 +1,1 @@
+lib/ops5/lexer.mli: Cond Format

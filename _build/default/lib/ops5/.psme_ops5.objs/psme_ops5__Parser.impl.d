@@ -1,0 +1,1 @@
+lib/ops5/parser.ml: Action Array Cond Format Lexer List Production Psme_support Schema Sym Value

@@ -1,0 +1,1 @@
+lib/ops5/parser.mli: Lexer Production Psme_support Schema Sym

@@ -1,0 +1,1 @@
+lib/ops5/production.ml: Action Cond Format Hashtbl List Printf Psme_support Sym

@@ -1,0 +1,1 @@
+lib/ops5/production.mli: Action Cond Format Psme_support Schema Sym

@@ -1,0 +1,1 @@
+lib/ops5/schema.ml: Array Hashtbl List Printf Psme_support Sym

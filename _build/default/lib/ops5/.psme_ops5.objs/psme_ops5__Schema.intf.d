@@ -1,0 +1,1 @@
+lib/ops5/schema.mli: Psme_support Sym

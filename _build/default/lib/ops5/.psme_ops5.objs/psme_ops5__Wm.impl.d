@@ -1,0 +1,1 @@
+lib/ops5/wm.ml: Format Hashtbl List Wme

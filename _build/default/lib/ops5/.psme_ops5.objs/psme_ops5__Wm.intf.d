@@ -1,0 +1,1 @@
+lib/ops5/wm.mli: Format Psme_support Schema Sym Value Wme

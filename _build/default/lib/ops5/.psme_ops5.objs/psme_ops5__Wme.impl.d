@@ -1,0 +1,1 @@
+lib/ops5/wme.ml: Array Format Psme_support Schema Stdlib Sym Value

@@ -1,0 +1,47 @@
+open Psme_support
+
+type term =
+  | Tconst of Value.t
+  | Tvar of string
+  | Tgensym of string
+
+type t =
+  | Make of Sym.t * (int * term) list
+  | Remove of int
+  | Modify of int * (int * term) list
+  | Write of term list
+  | Halt
+
+let vars_of_term = function
+  | Tvar v -> [ v ]
+  | Tconst _ | Tgensym _ -> []
+
+let vars = function
+  | Make (_, fields) | Modify (_, fields) ->
+    List.concat_map (fun (_, t) -> vars_of_term t) fields
+  | Write terms -> List.concat_map vars_of_term terms
+  | Remove _ | Halt -> []
+
+let pp_term ppf = function
+  | Tconst v -> Value.pp ppf v
+  | Tvar v -> Format.fprintf ppf "<%s>" v
+  | Tgensym p -> Format.fprintf ppf "(genatom %s)" p
+
+let pp schema ppf = function
+  | Make (cls, fields) ->
+    Format.fprintf ppf "(make %a" Sym.pp cls;
+    List.iter
+      (fun (i, t) ->
+        Format.fprintf ppf " ^%a %a" Sym.pp (Schema.attr_name schema cls i) pp_term t)
+      fields;
+    Format.fprintf ppf ")"
+  | Remove i -> Format.fprintf ppf "(remove %d)" i
+  | Modify (i, fields) ->
+    Format.fprintf ppf "(modify %d" i;
+    List.iter (fun (_, t) -> Format.fprintf ppf " %a" pp_term t) fields;
+    Format.fprintf ppf ")"
+  | Write terms ->
+    Format.fprintf ppf "(write %a)"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_term)
+      terms
+  | Halt -> Format.pp_print_string ppf "(halt)"

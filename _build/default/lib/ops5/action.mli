@@ -1,0 +1,26 @@
+(** Right-hand-side actions. *)
+
+open Psme_support
+
+type term =
+  | Tconst of Value.t
+  | Tvar of string  (** substituted from the instantiation's bindings *)
+  | Tgensym of string
+      (** a fresh symbol per firing ([{(genatom prefix)}] in source) —
+          how Soar RHS actions mint new object identifiers *)
+
+type t =
+  | Make of Sym.t * (int * term) list
+      (** create a wme of the class with the given field assignments;
+          unassigned fields are [nil] *)
+  | Remove of int
+      (** remove the wme matching the n-th (1-based) positive CE *)
+  | Modify of int * (int * term) list
+      (** remove + re-make with changed fields *)
+  | Write of term list  (** print (OPS5 I/O) *)
+  | Halt
+
+val vars : t -> string list
+(** Variables consumed by the action. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(** Condition elements: the left-hand-side patterns of productions. *)
+
+open Psme_support
+
+type relation = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand =
+  | Oconst of Value.t
+  | Ovar of string  (** must be bound by an earlier (or same-CE earlier) test *)
+
+type test =
+  | T_const of Value.t  (** constant equality, e.g. [^color blue] *)
+  | T_var of string     (** variable bind-or-equality, e.g. [^name <x>] *)
+  | T_rel of relation * operand  (** predicate test, e.g. [^size > 3], [^on <> <x>] *)
+  | T_disj of Value.t list       (** [^color << red blue >>] *)
+  | T_conj of test list          (** [^size { <s> > 3 }] *)
+
+type ce = {
+  cls : Sym.t;
+  tests : (int * test) list;  (** (field index, test), sorted by field *)
+}
+
+type t =
+  | Pos of ce
+  | Neg of ce
+  | Ncc of t list
+      (** conjunctive negation: no combination of wmes matches the whole
+          group (the Soar extension; OPS5 negation only covers one CE) *)
+
+val ce : Sym.t -> (int * test) list -> ce
+(** Smart constructor: sorts tests by field index and checks for
+    duplicate constant tests on one field. *)
+
+val eval_relation : relation -> Value.t -> Value.t -> bool
+(** [eval_relation rel actual expected]. Ordering relations on
+    non-numeric operands fall back to {!Value.compare}. *)
+
+val test_is_alpha : test -> bool
+(** True when the test depends only on the candidate wme (constants,
+    disjunctions, predicates against constants) and can run in the alpha
+    network. *)
+
+val vars_of_test : test -> string list
+(** Variables occurring in a test, binding occurrences first. *)
+
+val vars_of_ce : ce -> string list
+val vars : t -> string list
+
+val positives : t list -> ce list
+(** All positive CEs in order, descending into NCC groups. *)
+
+val count_ces : t list -> int
+(** Total number of primitive CEs (positive and negative, inside NCCs
+    too) — the paper's "number of condition elements" metric. *)
+
+val pp_test : Format.formatter -> test -> unit
+val pp_ce : Schema.t -> Format.formatter -> ce -> unit
+val pp : Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+
+type token =
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | DISJ_OPEN
+  | DISJ_CLOSE
+  | ARROW
+  | DASH
+  | CARET of string
+  | VAR of string
+  | SYM of string
+  | INT of int
+  | FLOAT of float
+  | STR of string
+  | REL of Cond.relation
+  | EOF
+
+type loc = { line : int }
+
+exception Lex_error of string * loc
+
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+let is_digit c = c >= '0' && c <= '9'
+
+(* Symbols may contain almost anything that is not structure: letters,
+   digits, and punctuation such as [-], [_], [*], [?], [.], [!], [:]. *)
+let is_sym_char c =
+  not (is_space c)
+  && not (List.mem c [ '('; ')'; '{'; '}'; ';'; '^'; '<'; '>'; '='; '|'; '"' ])
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let err fmt = Format.kasprintf (fun m -> raise (Lex_error (m, { line = !line }))) fmt in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with Some '\n' -> incr line | _ -> ());
+    incr pos
+  in
+  let emit tok = out := (tok, { line = !line }) :: !out in
+  let read_while pred =
+    let start = !pos in
+    while (match cur () with Some c -> pred c | None -> false) do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let read_number () =
+    let s =
+      read_while (fun c -> is_digit c || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-')
+    in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
+      match float_of_string_opt s with
+      | Some f -> FLOAT f
+      | None -> err "malformed number %S" s
+    else
+      match int_of_string_opt s with
+      | Some i -> INT i
+      | None -> err "malformed number %S" s
+  in
+  let read_delimited close =
+    advance ();
+    let start = !pos in
+    while (match cur () with Some c -> c <> close | None -> err "unterminated string") do
+      advance ()
+    done;
+    let s = String.sub src start (!pos - start) in
+    advance ();
+    STR s
+  in
+  while !pos < n do
+    match cur () with
+    | None -> ()
+    | Some c ->
+      if is_space c then advance ()
+      else if c = ';' then ignore (read_while (fun c -> c <> '\n'))
+      else if c = '(' then (emit LPAREN; advance ())
+      else if c = ')' then (emit RPAREN; advance ())
+      else if c = '{' then (emit LBRACE; advance ())
+      else if c = '}' then (emit RBRACE; advance ())
+      else if c = '|' then emit (read_delimited '|')
+      else if c = '"' then emit (read_delimited '"')
+      else if c = '=' then (emit (REL Cond.Eq); advance ())
+      else if c = '^' then begin
+        advance ();
+        let s = read_while is_sym_char in
+        if s = "" then err "empty attribute after ^";
+        emit (CARET s)
+      end
+      else if c = '>' then begin
+        advance ();
+        match cur () with
+        | Some '>' -> advance (); emit DISJ_CLOSE
+        | Some '=' -> advance (); emit (REL Cond.Ge)
+        | _ -> emit (REL Cond.Gt)
+      end
+      else if c = '<' then begin
+        advance ();
+        match cur () with
+        | Some '<' -> advance (); emit DISJ_OPEN
+        | Some '=' -> advance (); emit (REL Cond.Le)
+        | Some '>' -> advance (); emit (REL Cond.Ne)
+        | _ ->
+          let name = read_while is_sym_char in
+          if name <> "" && cur () = Some '>' then begin
+            advance ();
+            emit (VAR name)
+          end
+          else if name = "" then emit (REL Cond.Lt)
+          else err "expected '>' to close variable <%s" name
+      end
+      else if c = '-' then begin
+        (* Distinguish: "-->" arrow, "-3"/"-.5" negative number, "-" dash
+           (negation), and symbols that merely start with '-'. *)
+        if peek 1 = Some '-' && peek 2 = Some '>' then begin
+          advance (); advance (); advance ();
+          emit ARROW
+        end
+        else
+          match peek 1 with
+          | Some d when is_digit d || d = '.' ->
+            advance ();
+            (match read_number () with
+            | INT i -> emit (INT (-i))
+            | FLOAT f -> emit (FLOAT (-.f))
+            | _ -> assert false)
+          | Some d when is_sym_char d ->
+            (* A '-' immediately followed by symbol characters is read as
+               a symbol only when it cannot open a negation; negations
+               are "- (" or "-(", so a following sym char means symbol. *)
+            emit (SYM (read_while is_sym_char))
+          | _ -> advance (); emit DASH
+      end
+      else if is_digit c then emit (read_number ())
+      else if is_sym_char c then begin
+        let s = read_while is_sym_char in
+        emit (SYM s)
+      end
+      else err "unexpected character %C" c
+  done;
+  emit EOF;
+  Array.of_list (List.rev !out)
+
+let pp_token ppf = function
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | DISJ_OPEN -> Format.pp_print_string ppf "<<"
+  | DISJ_CLOSE -> Format.pp_print_string ppf ">>"
+  | ARROW -> Format.pp_print_string ppf "-->"
+  | DASH -> Format.pp_print_string ppf "-"
+  | CARET s -> Format.fprintf ppf "^%s" s
+  | VAR s -> Format.fprintf ppf "<%s>" s
+  | SYM s -> Format.pp_print_string ppf s
+  | INT i -> Format.pp_print_int ppf i
+  | FLOAT f -> Format.pp_print_float ppf f
+  | STR s -> Format.fprintf ppf "|%s|" s
+  | REL r ->
+    Format.pp_print_string ppf
+      (match r with
+      | Cond.Eq -> "="
+      | Cond.Ne -> "<>"
+      | Cond.Lt -> "<"
+      | Cond.Le -> "<="
+      | Cond.Gt -> ">"
+      | Cond.Ge -> ">=")
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,30 @@
+(** Tokenizer for the OPS5 / Soar production syntax. *)
+
+
+type token =
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | DISJ_OPEN   (** [<<] *)
+  | DISJ_CLOSE  (** [>>] *)
+  | ARROW       (** [-->] *)
+  | DASH        (** [-] introducing a negation *)
+  | CARET of string  (** [^attr] *)
+  | VAR of string    (** [<x>] *)
+  | SYM of string
+  | INT of int
+  | FLOAT of float
+  | STR of string    (** [|literal|] or ["literal"] *)
+  | REL of Cond.relation  (** [=] [<>] [<] [<=] [>] [>=] *)
+  | EOF
+
+type loc = { line : int }
+
+exception Lex_error of string * loc
+
+val tokenize : string -> (token * loc) array
+(** Comments run from [;] to end of line. Raises {!Lex_error} on
+    malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,40 @@
+(** Parser for production-system source text.
+
+    Two top-level rule forms are accepted:
+
+    - [(p name ce... --> action...)] — plain OPS5 over classes declared
+      with [(literalize class attr...)].
+
+    - [(sp name sugar-ce... --> sugar-action...)] — Soar-style rules over
+      object/attribute/value triples. A sugar CE
+      [(class <id> ^a t1 ^b t2)] expands to one primitive CE per
+      attribute pair, each testing the shared identifier — the paper's
+      "collections of smaller wmes" representation, in which every CE is
+      linked to a previous CE through an equal-variable test. Negating a
+      multi-attribute sugar CE produces a conjunctive negation. Triple
+      classes are declared automatically with fields
+      [identifier], [attribute], [value].
+
+    Top-level [(literalize ...)] forms mutate the supplied schema. *)
+
+open Psme_support
+
+exception Parse_error of string * Lexer.loc
+
+type form =
+  | Literalize of Sym.t * Sym.t list
+  | Prod of Production.t
+
+val parse_program : Schema.t -> string -> form list
+(** Parse a whole source text; [literalize] forms are also applied to the
+    schema as they are encountered (so later rules can use them). *)
+
+val productions : Schema.t -> string -> Production.t list
+(** Convenience: {!parse_program} keeping only the productions. *)
+
+val parse_production : Schema.t -> string -> Production.t
+(** Parse exactly one [(p ...)] or [(sp ...)] form. *)
+
+val triple_fields : string list
+(** The automatic field layout of Soar triple classes:
+    [["identifier"; "attribute"; "value"]]. *)

@@ -1,0 +1,33 @@
+(** Productions (condition–action rules). *)
+
+open Psme_support
+
+type t = private {
+  name : Sym.t;
+  lhs : Cond.t list;
+  rhs : Action.t list;
+  is_chunk : bool;  (** learned at run time by chunking *)
+}
+
+val make :
+  ?is_chunk:bool -> name:Sym.t -> lhs:Cond.t list -> rhs:Action.t list -> unit -> t
+(** Validates the production:
+    - the LHS is non-empty and its first condition is positive;
+    - every variable used in a negated CE, an NCC, a predicate operand or
+      the RHS is bound by some positive CE (binding occurrences are
+      [T_var] tests in positive CEs);
+    - [Remove]/[Modify] indices refer to positive CEs.
+    Raises [Invalid_argument] with a descriptive message otherwise. *)
+
+val num_ces : t -> int
+(** The paper's condition-element count (Table 5-1). *)
+
+val bound_vars : t -> string list
+(** Variables bound by positive CEs, in binding order, without
+    duplicates. *)
+
+val positive_ce : t -> int -> Cond.ce
+(** [positive_ce p n] is the [n]-th (1-based) positive CE, as addressed
+    by [Remove]/[Modify]. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit

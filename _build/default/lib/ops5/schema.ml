@@ -1,0 +1,56 @@
+open Psme_support
+
+type cls_info = {
+  attrs : Sym.t array;
+  index : (Sym.t, int) Hashtbl.t;
+}
+
+type t = {
+  classes : (Sym.t, cls_info) Hashtbl.t;
+  mutable order : Sym.t list; (* reverse declaration order *)
+}
+
+let create () = { classes = Hashtbl.create 64; order = [] }
+
+let declare t cls attrs =
+  let cls = Sym.intern cls in
+  let attrs = Array.of_list (List.map Sym.intern attrs) in
+  match Hashtbl.find_opt t.classes cls with
+  | Some info ->
+    if info.attrs <> attrs then
+      invalid_arg
+        (Printf.sprintf "Schema.declare: class %s re-declared with different attributes"
+           (Sym.name cls))
+  | None ->
+    let index = Hashtbl.create (Array.length attrs) in
+    Array.iteri (fun i a -> Hashtbl.replace index a i) attrs;
+    Hashtbl.replace t.classes cls { attrs; index };
+    t.order <- cls :: t.order
+
+let declared t cls = Hashtbl.mem t.classes cls
+
+let info t cls =
+  match Hashtbl.find_opt t.classes cls with
+  | Some i -> i
+  | None -> raise Not_found
+
+let arity t cls = Array.length (info t cls).attrs
+
+let field_index t cls attr =
+  match Hashtbl.find_opt (info t cls).index attr with
+  | Some i -> i
+  | None -> raise Not_found
+
+let attr_name t cls i = (info t cls).attrs.(i)
+
+let classes t = List.rev t.order
+
+let copy t =
+  let t' = create () in
+  List.iter
+    (fun cls ->
+      let i = info t cls in
+      Hashtbl.replace t'.classes cls i;
+      t'.order <- cls :: t'.order)
+    (classes t);
+  t'

@@ -1,0 +1,35 @@
+(** Class declarations ([literalize] in OPS5).
+
+    A schema maps each wme class to its ordered attribute list, fixing
+    the field index used for that attribute in every wme of the class.
+    The Rete compiler and the parser both consult the schema; declaring
+    classes up front (rather than hashing attribute names at match time)
+    is what lets conditions compile to direct array indexing. *)
+
+open Psme_support
+
+type t
+
+val create : unit -> t
+
+val declare : t -> string -> string list -> unit
+(** [declare schema cls attrs] registers class [cls] with named
+    attributes [attrs] (in field order). Re-declaring a class with the
+    same attributes is a no-op; with different attributes it raises
+    [Invalid_argument]. *)
+
+val declared : t -> Sym.t -> bool
+val arity : t -> Sym.t -> int
+(** Number of attributes of a class. Raises [Not_found] if undeclared. *)
+
+val field_index : t -> Sym.t -> Sym.t -> int
+(** [field_index schema cls attr] is the field slot of [attr] in [cls].
+    Raises [Not_found] if the class or attribute is unknown. *)
+
+val attr_name : t -> Sym.t -> int -> Sym.t
+(** Inverse of {!field_index}. *)
+
+val classes : t -> Sym.t list
+(** All declared classes, in declaration order. *)
+
+val copy : t -> t

@@ -1,0 +1,1 @@
+lib/rete/alpha.ml: Cond Hashtbl List Psme_ops5 Psme_support Sym Value Wme

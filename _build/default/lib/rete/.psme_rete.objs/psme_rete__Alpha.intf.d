@@ -1,0 +1,1 @@
+lib/rete/alpha.mli: Cond Psme_ops5 Psme_support Sym Value Wme

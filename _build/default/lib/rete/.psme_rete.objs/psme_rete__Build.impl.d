@@ -1,0 +1,1 @@
+lib/rete/build.ml: Alpha Array Cond Conflict_set Format Fun Hashtbl List Memory Network Option Printf Production Psme_ops5 Psme_support Stdlib Sym Vec

@@ -1,0 +1,1 @@
+lib/rete/build.mli: Network Production Psme_ops5 Psme_support Sym

@@ -1,0 +1,1 @@
+lib/rete/codesize.ml: Build List Network

@@ -1,0 +1,1 @@
+lib/rete/codesize.mli: Build Network

@@ -1,0 +1,1 @@
+lib/rete/conflict_set.ml: Array Format Hashtbl List Mutex Psme_ops5 Psme_support Stdlib String Sym Token Wme

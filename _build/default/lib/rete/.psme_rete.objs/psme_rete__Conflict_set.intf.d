@@ -1,0 +1,1 @@
+lib/rete/conflict_set.mli: Format Psme_support Sym Token

@@ -1,0 +1,1 @@
+lib/rete/memory.ml: Array Atomic Domain Fun Hashtbl List Mutex Option Psme_ops5 Psme_support Token Vec Wme

@@ -1,0 +1,1 @@
+lib/rete/memory.mli: Psme_ops5 Token Wme

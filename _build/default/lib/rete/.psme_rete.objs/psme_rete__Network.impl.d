@@ -1,0 +1,1 @@
+lib/rete/network.ml: Alpha Cond Conflict_set Hashtbl List Memory Production Psme_ops5 Psme_support Schema Sym Token Value Wme

@@ -1,0 +1,1 @@
+lib/rete/network.mli: Alpha Cond Conflict_set Hashtbl Memory Production Psme_ops5 Psme_support Schema Sym Token Value Wme

@@ -1,0 +1,1 @@
+lib/rete/runtime.ml: Alpha Conflict_set Hashtbl List Memory Network Production Psme_ops5 Task Token

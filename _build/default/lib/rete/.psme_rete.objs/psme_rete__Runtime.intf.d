@@ -1,0 +1,1 @@
+lib/rete/runtime.mli: Conflict_set Network Psme_ops5 Task Wme

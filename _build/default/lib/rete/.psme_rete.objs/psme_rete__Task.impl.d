@@ -1,0 +1,1 @@
+lib/rete/task.ml: Format Psme_ops5 Token Wme

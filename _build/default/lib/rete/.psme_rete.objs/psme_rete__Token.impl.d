@@ -1,0 +1,1 @@
+lib/rete/token.ml: Array Format Psme_ops5 Wme

@@ -1,0 +1,1 @@
+lib/rete/token.mli: Format Psme_ops5 Psme_support Wme

@@ -1,0 +1,1 @@
+lib/rete/update.ml: Build List Network Psme_ops5 Runtime Task Wm

@@ -1,0 +1,1 @@
+lib/rete/update.mli: Build Network Psme_ops5 Task Wm

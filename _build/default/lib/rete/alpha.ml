@@ -1,0 +1,126 @@
+open Psme_support
+open Psme_ops5
+
+type atest =
+  | A_const of int * Value.t
+  | A_disj of int * Value.t list
+  | A_rel of int * Cond.relation * Value.t
+  | A_same of int * Cond.relation * int
+
+let atest_holds test w =
+  match test with
+  | A_const (f, v) -> Value.equal (Wme.field w f) v
+  | A_disj (f, vs) -> List.exists (Value.equal (Wme.field w f)) vs
+  | A_rel (f, rel, v) -> Cond.eval_relation rel (Wme.field w f) v
+  | A_same (f1, rel, f2) -> Cond.eval_relation rel (Wme.field w f1) (Wme.field w f2)
+
+type anode = {
+  _aid : int;
+  test : atest;
+  mutable children : anode list;
+  mutable mem : amem option;
+}
+
+and amem = {
+  mid : int;
+  mutable succs : int list;  (* reverse registration order *)
+}
+
+type t = {
+  alloc_id : unit -> int;
+  roots : (Sym.t, root) Hashtbl.t;
+  mems : (int, amem) Hashtbl.t;
+  mutable n_nodes : int;
+  mutable activations : int;
+}
+
+and root = {
+  mutable top_children : anode list;
+  mutable top_mem : amem option;  (* CE with class test only *)
+}
+
+let create ~alloc_id =
+  { alloc_id; roots = Hashtbl.create 64; mems = Hashtbl.create 64;
+    n_nodes = 0; activations = 0 }
+
+let get_root t cls =
+  match Hashtbl.find_opt t.roots cls with
+  | Some r -> r
+  | None ->
+    let r = { top_children = []; top_mem = None } in
+    Hashtbl.replace t.roots cls r;
+    r
+
+let new_mem t =
+  let m = { mid = t.alloc_id (); succs = [] } in
+  Hashtbl.replace t.mems m.mid m;
+  t.n_nodes <- t.n_nodes + 1;
+  m
+
+let add_chain t ~cls tests =
+  let root = get_root t cls in
+  (* Walk/extend the chain one test at a time, sharing prefixes. *)
+  let rec place_in children_get children_set mem_get mem_set = function
+    | [] -> (
+      match mem_get () with
+      | Some m -> m.mid
+      | None ->
+        let m = new_mem t in
+        mem_set (Some m);
+        m.mid)
+    | test :: rest -> (
+      match List.find_opt (fun c -> c.test = test) (children_get ()) with
+      | Some child ->
+        place_in
+          (fun () -> child.children)
+          (fun l -> child.children <- l)
+          (fun () -> child.mem)
+          (fun m -> child.mem <- m)
+          rest
+      | None ->
+        let child =
+          { _aid = t.alloc_id (); test; children = []; mem = None }
+        in
+        t.n_nodes <- t.n_nodes + 1;
+        children_set (child :: children_get ());
+        place_in
+          (fun () -> child.children)
+          (fun l -> child.children <- l)
+          (fun () -> child.mem)
+          (fun m -> child.mem <- m)
+          rest)
+  in
+  place_in
+    (fun () -> root.top_children)
+    (fun l -> root.top_children <- l)
+    (fun () -> root.top_mem)
+    (fun m -> root.top_mem <- m)
+    tests
+
+let add_successor t ~amem ~node =
+  let m = Hashtbl.find t.mems amem in
+  if not (List.mem node m.succs) then m.succs <- node :: m.succs
+
+let remove_successor t ~node =
+  Hashtbl.iter (fun _ m -> m.succs <- List.filter (fun i -> i <> node) m.succs) t.mems
+
+let matching_amems t w f =
+  let count = ref 0 in
+  (match Hashtbl.find_opt t.roots w.Wme.cls with
+  | None -> ()
+  | Some root ->
+    (match root.top_mem with Some m -> f m.mid | None -> ());
+    let rec walk node =
+      incr count;
+      if atest_holds node.test w then begin
+        (match node.mem with Some m -> f m.mid | None -> ());
+        List.iter walk node.children
+      end
+    in
+    List.iter walk root.top_children);
+  t.activations <- t.activations + !count;
+  !count
+
+let successors t ~amem = List.rev (Hashtbl.find t.mems amem).succs
+let node_count t = t.n_nodes
+let stats_activations t = t.activations

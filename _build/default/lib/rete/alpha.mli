@@ -1,0 +1,55 @@
+(** The alpha (constant-test) network.
+
+    Wmes are discriminated first on their class, then down shared chains
+    of constant tests; each chain may end in an {e alpha memory} whose
+    successors are the two-input (or entry) nodes fed on their right
+    input. Constant tests are cheap relative to two-input nodes (the
+    paper: ~90% of optimized match time is in two-input nodes), so the
+    engines run the whole alpha pass for a wme change inline and only
+    the resulting right activations become schedulable tasks. *)
+
+open Psme_support
+open Psme_ops5
+
+(** Tests that depend only on the candidate wme. [A_same] covers
+    intra-CE variable consistency such as [(block ^a <x> ^b <x>)]. *)
+type atest =
+  | A_const of int * Value.t
+  | A_disj of int * Value.t list
+  | A_rel of int * Cond.relation * Value.t
+  | A_same of int * Cond.relation * int  (** field REL field *)
+
+val atest_holds : atest -> Wme.t -> bool
+
+type t
+
+val create : alloc_id:(unit -> int) -> t
+(** [alloc_id] draws from the network-wide monotone node-ID counter, so
+    alpha nodes obey the paper's incremental-ID scheme too. *)
+
+val add_chain : t -> cls:Sym.t -> atest list -> int
+(** [add_chain t ~cls tests] finds or creates the test chain for a CE
+    (tests are deduplicated and sorted canonically by the caller) and
+    returns the alpha-memory id at its end. Shares every prefix with
+    existing chains. *)
+
+val add_successor : t -> amem:int -> node:int -> unit
+(** Register a beta node fed by alpha memory [amem]. Keeps the successor
+    list free of duplicates. *)
+
+val remove_successor : t -> node:int -> unit
+(** Unregister a beta node from every alpha memory (production excise). *)
+
+val matching_amems : t -> Wme.t -> (int -> unit) -> int
+(** Apply the function to each alpha memory the wme reaches; returns the
+    number of constant-test node activations performed (for the cost
+    model). *)
+
+val successors : t -> amem:int -> int list
+(** Beta nodes fed by this alpha memory, in registration order. *)
+
+val node_count : t -> int
+(** Constant-test nodes + alpha memories currently in the network. *)
+
+val stats_activations : t -> int
+(** Cumulative constant-test activations. *)

@@ -1,0 +1,34 @@
+(** Compiling productions into the network.
+
+    The same code path serves initial loading and run-time chunk
+    addition (§5.1): a production is compiled {e into} the existing
+    network, reusing every structurally identical node reachable from
+    the same parents (when [config.share] is true) and appending fresh
+    nodes — with monotonically larger IDs — where sharing stops. The
+    returned {!add_result} carries what the §5.2 state update needs. *)
+
+open Psme_support
+open Psme_ops5
+
+type add_result = {
+  meta : Network.pmeta;
+  first_new_id : int;
+      (** the network's ID watermark before the addition; every node
+          created by this addition has an ID [>= first_new_id] *)
+  new_beta_nodes : int list;  (** created beta nodes, creation order *)
+}
+
+exception Build_error of string
+
+val add_production : Network.t -> Production.t -> add_result
+(** Compile and wire one production. Respects [config.share] and
+    [config.bilinear]. Raises {!Build_error} on semantic errors the
+    front end cannot catch (e.g. a predicate on a variable bound only
+    textually later). Raises [Invalid_argument] if a production with
+    the same name is already present. *)
+
+val add_all : Network.t -> Production.t list -> add_result list
+
+val excise_production : Network.t -> Sym.t -> unit
+(** Remove a production: its P-node, every node that no longer feeds
+    anything, and their memory-table state. *)

@@ -1,0 +1,65 @@
+let open_coded = ref true
+
+(* Open-coded constants (bytes): a two-input node's body inlines the
+   hash computation (~40B), the line lock acquire/release (~36B), the
+   opposite-memory scan loop (~48B), and the child-token build and
+   queue-push sequence (~26B per successor); each equality test inlines
+   a field fetch + compare (~28B) and each residual predicate a call-out
+   (~20B). Entry and P-nodes are simpler bodies. Closed-coded variants
+   replace inline sequences with calls (the paper's 15–20B/node figure
+   plus a shared runtime). *)
+
+let two_input_base = 150
+let per_eq_test = 28
+let per_other_test = 20
+let per_successor = 26
+let entry_base = 84
+let pnode_base = 120
+let ncc_base = 140
+let partner_base = 110
+let bjoin_base = 170
+let per_btest = 30
+
+let closed_two_input = 18
+let closed_other = 12
+
+let bytes_of_node _net (n : Network.node) =
+  let nsucc = List.length (Network.successors n) in
+  if not !open_coded then
+    match n.Network.kind with
+    | Network.Join _ | Network.Neg _ | Network.Ncc _ | Network.Bjoin _ ->
+      closed_two_input
+    | Network.Entry | Network.Ncc_partner _ | Network.Pnode _ -> closed_other
+  else
+    match n.Network.kind with
+    | Network.Entry -> entry_base + (per_successor * nsucc)
+    | Network.Join ti | Network.Neg ti ->
+      two_input_base
+      + (per_eq_test * List.length ti.Network.eq)
+      + (per_other_test * List.length ti.Network.others)
+      + (per_successor * nsucc)
+    | Network.Ncc _ -> ncc_base + (per_successor * nsucc)
+    | Network.Ncc_partner _ -> partner_base
+    | Network.Bjoin bi ->
+      bjoin_base
+      + (per_btest * (List.length bi.Network.b_eq + List.length bi.Network.b_others))
+      + (per_successor * nsucc)
+    | Network.Pnode _ -> pnode_base
+
+let bytes_of_addition net (res : Build.add_result) =
+  List.fold_left
+    (fun acc nid -> acc + bytes_of_node net (Network.node net nid))
+    0 res.Build.new_beta_nodes
+
+let bytes_per_two_input_node net (res : Build.add_result) =
+  let total = ref 0 and count = ref 0 in
+  List.iter
+    (fun nid ->
+      let n = Network.node net nid in
+      match n.Network.kind with
+      | Network.Join _ | Network.Neg _ | Network.Ncc _ | Network.Bjoin _ ->
+        total := !total + bytes_of_node net n;
+        incr count
+      | Network.Entry | Network.Ncc_partner _ | Network.Pnode _ -> ())
+    res.Build.new_beta_nodes;
+  if !count = 0 then nan else float_of_int !total /. float_of_int !count

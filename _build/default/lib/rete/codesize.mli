@@ -1,0 +1,26 @@
+(** Model of generated machine-code size (Table 5-1).
+
+    PSM-E compiled each node to open-coded NS32032 machine code; the
+    paper reports ~219–304 bytes per two-input node (inline-expanded)
+    and notes closed-coding would shrink that to ~15–20 bytes at some
+    speed cost. Our "code generation" targets heap data structures, so
+    we report a byte model derived from the node structure: a fixed
+    open-coded body per node kind plus per-test and per-successor
+    instruction sequences. The model's constants are stated here so the
+    Table 5-1 reproduction is an honest function of the networks we
+    actually build, not an echo of the paper's numbers. *)
+
+val bytes_of_node : Network.t -> Network.node -> int
+
+val open_coded : bool ref
+(** When set to [false], uses the paper's closed-coded estimate
+    (procedure calls instead of inline expansion). Default [true]. *)
+
+val bytes_of_addition : Network.t -> Build.add_result -> int
+(** Bytes of code generated when this production was added: the sum over
+    the nodes the addition actually created (shared nodes cost nothing,
+    which is exactly why shared compilation is smaller and faster). *)
+
+val bytes_per_two_input_node : Network.t -> Build.add_result -> float
+(** Average over the two-input nodes created by the addition; [nan] if
+    it created none. *)

@@ -1,0 +1,82 @@
+open Psme_support
+open Psme_ops5
+
+type inst = {
+  prod : Sym.t;
+  token : Token.t;
+}
+
+let inst_equal a b = Sym.equal a.prod b.prod && Token.equal a.token b.token
+
+module H = Hashtbl.Make (struct
+  type t = inst
+
+  let equal = inst_equal
+  let hash i = (Sym.hash i.prod * 31) + Token.hash i.token land max_int
+end)
+
+(* Reference counted: within a buffered cycle the add and the delete of
+   the same instantiation may arrive in either order on different match
+   processes; a delete-before-add leaves a negative entry that the add
+   annihilates, so the final contents are schedule-independent. *)
+type entry = { mutable refs : int; mutable fired : bool }
+
+type t = {
+  lock : Mutex.t;
+  tbl : entry H.t;
+}
+
+let create () = { lock = Mutex.create (); tbl = H.create 256 }
+
+let add t inst =
+  Mutex.protect t.lock (fun () ->
+      match H.find_opt t.tbl inst with
+      | Some e ->
+        e.refs <- e.refs + 1;
+        if e.refs = 0 then H.remove t.tbl inst
+      | None -> H.replace t.tbl inst { refs = 1; fired = false })
+
+let remove t inst =
+  Mutex.protect t.lock (fun () ->
+      match H.find_opt t.tbl inst with
+      | Some e ->
+        e.refs <- e.refs - 1;
+        if e.refs = 0 then H.remove t.tbl inst
+      | None -> H.replace t.tbl inst { refs = -1; fired = false })
+
+let mem t inst =
+  Mutex.protect t.lock (fun () ->
+      match H.find_opt t.tbl inst with Some e -> e.refs >= 1 | None -> false)
+
+let size t =
+  Mutex.protect t.lock (fun () ->
+      H.fold (fun _ e acc -> if e.refs >= 1 then acc + 1 else acc) t.tbl 0)
+
+let compare_inst a b =
+  let c = String.compare (Sym.name a.prod) (Sym.name b.prod) in
+  if c <> 0 then c
+  else
+    let ta = Array.map (fun w -> w.Wme.timetag) a.token.Token.wmes
+    and tb = Array.map (fun w -> w.Wme.timetag) b.token.Token.wmes in
+    Stdlib.compare ta tb
+
+let sorted t pred =
+  Mutex.protect t.lock (fun () ->
+      H.fold (fun i e acc -> if e.refs >= 1 && pred e then i :: acc else acc) t.tbl [])
+  |> List.sort compare_inst
+
+let pending t = sorted t (fun e -> not e.fired)
+let to_list t = sorted t (fun _ -> true)
+
+let mark_fired t inst =
+  Mutex.protect t.lock (fun () ->
+      match H.find_opt t.tbl inst with
+      | Some e -> e.fired <- true
+      | None -> ())
+
+let clear t = Mutex.protect t.lock (fun () -> H.reset t.tbl)
+
+let pp ppf t =
+  List.iter
+    (fun i -> Format.fprintf ppf "%a %a@." Sym.pp i.prod Token.pp i.token)
+    (to_list t)

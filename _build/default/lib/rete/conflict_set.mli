@@ -1,0 +1,43 @@
+(** The conflict set: current production instantiations.
+
+    Thread-safe (P-node activations may run on any match process).
+    Instantiations carry the matched wmes in condition order. Firing
+    state is tracked here because both OPS5 (refraction) and Soar (fire
+    every instantiation exactly once, all in parallel) need it. *)
+
+open Psme_support
+
+
+type inst = {
+  prod : Sym.t;
+  token : Token.t;  (** slots in positive-CE order *)
+}
+
+val inst_equal : inst -> inst -> bool
+
+type t
+
+val create : unit -> t
+
+val add : t -> inst -> unit
+(** Adding an instantiation that is already present (fired or not) is a
+    no-op — Rete delivers each instantiation at most once, but the state
+    update of a duplicate chunk may legitimately re-derive one. *)
+
+val remove : t -> inst -> unit
+(** Removing an absent instantiation is a no-op (it may already have
+    been removed by firing). *)
+
+val mem : t -> inst -> bool
+val size : t -> int
+
+val pending : t -> inst list
+(** Unfired instantiations, deterministically ordered (production name,
+    then matched timetags). *)
+
+val mark_fired : t -> inst -> unit
+val to_list : t -> inst list
+(** All current instantiations, same ordering as {!pending}. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

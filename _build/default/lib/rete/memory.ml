@@ -1,0 +1,255 @@
+open Psme_support
+open Psme_ops5
+
+type left_entry = {
+  l_token : Token.t;
+  mutable l_refs : int;
+  mutable l_count : int;
+}
+
+type right_payload =
+  | R_wme of Wme.t
+  | R_tok of Token.t
+
+type l_item = { ln : int; lkh : int; entry : left_entry }
+type r_item = { rn : int; rkh : int; payload : right_payload; mutable r_refs : int }
+
+type line = {
+  lock : Mutex.t;
+  left : l_item Vec.t;
+  right : r_item Vec.t;
+  mutable left_accesses : int;  (* since last reset_cycle_stats *)
+}
+
+type t = {
+  lines : line array;
+  mask : int;
+  spins : int Atomic.t;
+  left_total : int Atomic.t;
+  right_total : int Atomic.t;
+  hist : (int, int) Hashtbl.t;  (* accesses-per-line-per-cycle -> tokens *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(lines = 512) () =
+  let n = next_pow2 lines in
+  {
+    lines =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); left = Vec.create (); right = Vec.create ();
+            left_accesses = 0 });
+    mask = n - 1;
+    spins = Atomic.make 0;
+    left_total = Atomic.make 0;
+    right_total = Atomic.make 0;
+    hist = Hashtbl.create 64;
+  }
+
+let line_count t = Array.length t.lines
+let line_of t ~khash = khash land t.mask
+
+let locked t ~line f =
+  let l = t.lines.(line) in
+  if not (Mutex.try_lock l.lock) then begin
+    (* Spin as the paper's processes do, counting attempts. *)
+    let spun = ref 0 in
+    while not (Mutex.try_lock l.lock) do
+      incr spun;
+      Domain.cpu_relax ()
+    done;
+    Atomic.fetch_and_add t.spins !spun |> ignore
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock l.lock) f
+
+let touch_left t line =
+  let l = t.lines.(line) in
+  l.left_accesses <- l.left_accesses + 1;
+  Atomic.incr t.left_total
+
+let find_left v ~node ~khash token =
+  let n = Vec.length v in
+  let rec go i =
+    if i >= n then None
+    else
+      let item = Vec.get v i in
+      if item.ln = node && item.lkh = khash && Token.equal item.entry.l_token token then
+        Some (i, item)
+      else go (i + 1)
+  in
+  go 0
+
+let left_add t ~node ~khash token ~count =
+  let line = line_of t ~khash in
+  touch_left t line;
+  let v = t.lines.(line).left in
+  match find_left v ~node ~khash token with
+  | Some (i, item) ->
+    item.entry.l_refs <- item.entry.l_refs + 1;
+    if item.entry.l_refs = 0 then begin
+      (* annihilated an early delete *)
+      Vec.swap_remove v i;
+      `Inert
+    end
+    else if item.entry.l_refs = 1 then `Activated item.entry
+    else `Inert
+  | None ->
+    let entry = { l_token = token; l_refs = 1; l_count = count } in
+    Vec.push v { ln = node; lkh = khash; entry };
+    `Activated entry
+
+let left_remove t ~node ~khash token =
+  let line = line_of t ~khash in
+  touch_left t line;
+  let v = t.lines.(line).left in
+  match find_left v ~node ~khash token with
+  | Some (i, item) ->
+    item.entry.l_refs <- item.entry.l_refs - 1;
+    if item.entry.l_refs = 0 then begin
+      Vec.swap_remove v i;
+      `Deactivated item.entry
+    end
+    else `Inert
+  | None ->
+    (* early delete: leave a tombstone for the add to annihilate *)
+    Vec.push v
+      { ln = node; lkh = khash; entry = { l_token = token; l_refs = -1; l_count = 0 } };
+    `Inert
+
+let left_iter t ~node ~khash f =
+  let line = line_of t ~khash in
+  touch_left t line;
+  let v = t.lines.(line).left in
+  let scanned = Vec.length v in
+  for i = 0 to scanned - 1 do
+    let item = Vec.get v i in
+    if item.ln = node && item.lkh = khash && item.entry.l_refs >= 1 then f item.entry
+  done;
+  scanned
+
+let payload_equal a b =
+  match a, b with
+  | R_wme x, R_wme y -> Wme.equal x y
+  | R_tok x, R_tok y -> Token.equal x y
+  | (R_wme _ | R_tok _), _ -> false
+
+let find_right v ~node ~khash payload =
+  let n = Vec.length v in
+  let rec go i =
+    if i >= n then None
+    else
+      let item = Vec.get v i in
+      if item.rn = node && item.rkh = khash && payload_equal item.payload payload then
+        Some (i, item)
+      else go (i + 1)
+  in
+  go 0
+
+let right_add t ~node ~khash payload =
+  let line = line_of t ~khash in
+  Atomic.incr t.right_total;
+  let v = t.lines.(line).right in
+  match find_right v ~node ~khash payload with
+  | Some (i, item) ->
+    item.r_refs <- item.r_refs + 1;
+    if item.r_refs = 0 then begin
+      Vec.swap_remove v i;
+      false
+    end
+    else item.r_refs = 1
+  | None ->
+    Vec.push v { rn = node; rkh = khash; payload; r_refs = 1 };
+    true
+
+let right_remove t ~node ~khash payload =
+  let line = line_of t ~khash in
+  Atomic.incr t.right_total;
+  let v = t.lines.(line).right in
+  match find_right v ~node ~khash payload with
+  | Some (i, item) ->
+    item.r_refs <- item.r_refs - 1;
+    if item.r_refs = 0 then begin
+      Vec.swap_remove v i;
+      true
+    end
+    else false
+  | None ->
+    Vec.push v { rn = node; rkh = khash; payload; r_refs = -1 };
+    false
+
+let right_iter t ~node ~khash f =
+  let line = line_of t ~khash in
+  Atomic.incr t.right_total;
+  let v = t.lines.(line).right in
+  let scanned = Vec.length v in
+  for i = 0 to scanned - 1 do
+    let item = Vec.get v i in
+    if item.rn = node && item.rkh = khash && item.r_refs >= 1 then f item.payload
+  done;
+  scanned
+
+let drop_node t ~node =
+  Array.iter
+    (fun line ->
+      Mutex.protect line.lock (fun () ->
+          let rec purge_left i =
+            if i < Vec.length line.left then
+              if (Vec.get line.left i).ln = node then begin
+                Vec.swap_remove line.left i;
+                purge_left i
+              end
+              else purge_left (i + 1)
+          in
+          purge_left 0;
+          let rec purge_right i =
+            if i < Vec.length line.right then
+              if (Vec.get line.right i).rn = node then begin
+                Vec.swap_remove line.right i;
+                purge_right i
+              end
+              else purge_right (i + 1)
+          in
+          purge_right 0))
+    t.lines
+
+let iter_node_left t ~node f =
+  Array.iter
+    (fun line ->
+      Mutex.protect line.lock (fun () ->
+          Vec.iter
+            (fun item -> if item.ln = node && item.entry.l_refs >= 1 then f item.entry)
+            line.left))
+    t.lines
+
+let iter_node_right t ~node f =
+  Array.iter
+    (fun line ->
+      Mutex.protect line.lock (fun () ->
+          Vec.iter
+            (fun item -> if item.rn = node && item.r_refs >= 1 then f item.payload)
+            line.right))
+    t.lines
+
+let reset_cycle_stats t =
+  Array.iter
+    (fun line ->
+      if line.left_accesses > 0 then begin
+        let k = line.left_accesses in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt t.hist k) in
+        Hashtbl.replace t.hist k (prev + k);
+        line.left_accesses <- 0
+      end)
+    t.lines
+
+let access_histogram t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.hist []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let clear_access_histogram t = Hashtbl.reset t.hist
+
+let left_accesses_per_line t = Array.map (fun line -> line.left_accesses) t.lines
+let total_spins t = Atomic.get t.spins
+let total_left_accesses t = Atomic.get t.left_total
+let total_right_accesses t = Atomic.get t.right_total

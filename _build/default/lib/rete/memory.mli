@@ -1,0 +1,108 @@
+(** The two global hashed token memories (paper §6.1).
+
+    PSM-E keeps the state of {e all} left memory nodes in one hash table
+    and of all right memory nodes in another. The hash key combines (1)
+    the values of the variable bindings tested for equality at the
+    destination two-input node and (2) that node's unique ID, so tokens
+    that could pass the node's equal-variable tests land in the same
+    bucket. A {e line} is the pair of corresponding left/right buckets;
+    one lock guards a line, which is exactly what makes a two-input
+    node's insert-then-probe atomic with respect to the opposite side
+    (each joinable pair of activations is serialized by its common line,
+    so every join result is produced exactly once).
+
+    Entries are {e reference counted}: within one buffered cycle an add
+    wave and a delete wave for the same data may be processed in either
+    order on different match processes, so a delete arriving before its
+    add leaves a negative entry that the add later annihilates. The
+    [`Activated]/[`Deactivated] transitions (refs crossing 1 and 0) are
+    the only points where join results are emitted, which makes the
+    final match state independent of scheduling.
+
+    Left entries are tokens with a mutable counter (used by negative and
+    NCC nodes); right entries are wmes (for joins/negatives) or tokens
+    (subnetwork results arriving at NCC partners). *)
+
+open Psme_ops5
+
+type left_entry = {
+  l_token : Token.t;
+  mutable l_refs : int;
+  mutable l_count : int;  (** negative-join result count; 0 for joins *)
+}
+
+type right_payload =
+  | R_wme of Wme.t
+  | R_tok of Token.t
+
+type t
+
+val create : ?lines:int -> unit -> t
+(** [lines] defaults to 512 and is rounded up to a power of two. *)
+
+val line_count : t -> int
+val line_of : t -> khash:int -> int
+
+val locked : t -> line:int -> (unit -> 'a) -> 'a
+(** Run a critical section holding the line lock, counting spins. All
+    functions below must be called inside [locked] on the entry's line
+    (they do not themselves lock). *)
+
+val left_add :
+  t -> node:int -> khash:int -> Token.t -> count:int ->
+  [ `Activated of left_entry | `Inert ]
+(** [`Activated] when the entry's reference count crossed to 1 (the
+    caller should probe and emit); [`Inert] when the add annihilated an
+    early delete. [count] initializes the negative-join counter on a
+    fresh entry. *)
+
+val left_remove :
+  t -> node:int -> khash:int -> Token.t -> [ `Deactivated of left_entry | `Inert ]
+(** [`Deactivated] when the count crossed to 0 (caller emits deletes);
+    [`Inert] records an early delete (tombstone). *)
+
+val left_iter : t -> node:int -> khash:int -> (left_entry -> unit) -> int
+(** Visit {e active} (refs >= 1) entries of [node] in the bucket;
+    returns the number of bucket entries scanned (the comparison count
+    the simulator charges for). *)
+
+val right_add : t -> node:int -> khash:int -> right_payload -> bool
+(** True when the payload became active (probe and emit). *)
+
+val right_remove : t -> node:int -> khash:int -> right_payload -> bool
+(** True when the payload became inactive (probe and emit deletes). *)
+
+val right_iter : t -> node:int -> khash:int -> (right_payload -> unit) -> int
+
+val drop_node : t -> node:int -> unit
+(** Remove all entries belonging to a node (excising a production). *)
+
+val iter_node_left : t -> node:int -> (left_entry -> unit) -> unit
+(** Visit every active left entry of a node across all lines, taking
+    each line's lock. Used when a last-shared node is "specially
+    executed" to replay its stored state during a run-time update
+    (§5.2). *)
+
+val iter_node_right : t -> node:int -> (right_payload -> unit) -> unit
+
+(** {2 Instrumentation} *)
+
+val reset_cycle_stats : t -> unit
+(** Fold the per-cycle access counters into the histogram and clear them
+    (call at each elaboration-cycle boundary). *)
+
+val left_accesses_per_line : t -> int array
+(** Left-token accesses per line since the last reset — the quantity of
+    Figure 6-2. *)
+
+val access_histogram : t -> (int * int) list
+(** Accumulated over all completed cycles: [(k, n)] where [n] left
+    tokens hit a line that saw [k] left accesses during their cycle. *)
+
+val clear_access_histogram : t -> unit
+
+val total_spins : t -> int
+(** Lock spins observed since creation (real parallel engine). *)
+
+val total_left_accesses : t -> int
+val total_right_accesses : t -> int

@@ -1,0 +1,40 @@
+(** Executing node activations.
+
+    [exec] performs one task against the shared match state and returns
+    the successor tasks plus the work accounting the simulator's cost
+    model charges for. Inserting into a memory and probing the opposite
+    memory happen under the entry's line lock, so concurrent executions
+    of joinable activations produce each join result exactly once (see
+    {!Memory}). Thread-safe: any number of match processes may call
+    [exec] concurrently. *)
+
+open Psme_ops5
+
+type outcome = {
+  children : Task.t list;
+  scanned : int;  (** opposite-memory entries scanned under the lock *)
+  matched : int;  (** successful pairings (tokens emitted downstream) *)
+  insts : (Task.flag * Conflict_set.inst) list;
+      (** conflict-set transitions performed (P-node activations only) —
+          engines running asynchronous elaboration fire these without
+          waiting for quiescence (paper §7) *)
+}
+
+val exec : Network.t -> Task.t -> outcome
+
+val seed_wme_change :
+  ?min_node_id:int -> Network.t -> Task.flag -> Wme.t -> Task.t list * int
+(** Run the alpha (constant-test) network for one wme change and return
+    the right activations it produces, plus the number of constant-test
+    node activations performed. [min_node_id] filters deliveries to
+    nodes with at least that ID — the §5.2 update filter. *)
+
+val replay_parent :
+  Network.t -> parent:Network.node -> child:int -> port:Network.port -> Task.t list
+(** "Specially execute" an existing node: recompute its stored output
+    tokens from its memory state and address them to exactly one (new)
+    successor — the last-shared-node step of the §5.2 update. *)
+
+val excess_cross_products : Network.t -> int
+(** Diagnostic: total left-store entries across Bjoin nodes (state kept
+    by bilinear networks beyond what a linear network stores). *)

@@ -1,0 +1,26 @@
+open Psme_ops5
+
+type flag = Add | Delete
+
+type t =
+  | Left of { node : int; flag : flag; token : Token.t }
+  | Right of { node : int; flag : flag; wme : Wme.t }
+  | Rtok of { node : int; flag : flag; token : Token.t }
+
+let node = function
+  | Left { node; _ } | Right { node; _ } | Rtok { node; _ } -> node
+
+let flag = function
+  | Left { flag; _ } | Right { flag; _ } | Rtok { flag; _ } -> flag
+
+let pp_flag ppf = function
+  | Add -> Format.pp_print_string ppf "+"
+  | Delete -> Format.pp_print_string ppf "-"
+
+let pp ppf = function
+  | Left { node; flag; token } ->
+    Format.fprintf ppf "L%a@%d%a" pp_flag flag node Token.pp token
+  | Right { node; flag; wme } ->
+    Format.fprintf ppf "R%a@%d[%d]" pp_flag flag node wme.Wme.timetag
+  | Rtok { node; flag; token } ->
+    Format.fprintf ppf "RT%a@%d%a" pp_flag flag node Token.pp token

@@ -1,0 +1,22 @@
+(** Node activations — the unit of parallel work (the paper's "task").
+
+    A task pairs a destination node with an input token or wme and an
+    add/delete flag. Engines schedule tasks; {!Runtime.exec} performs
+    them. *)
+
+open Psme_ops5
+
+type flag = Add | Delete
+
+type t =
+  | Left of { node : int; flag : flag; token : Token.t }
+      (** token arriving on a two-input node's left arc (or at a P-node) *)
+  | Right of { node : int; flag : flag; wme : Wme.t }
+      (** wme arriving from an alpha memory on a right arc *)
+  | Rtok of { node : int; flag : flag; token : Token.t }
+      (** token arriving on a right arc: NCC-partner inputs and the right
+          side of binary (bilinear) joins *)
+
+val node : t -> int
+val flag : t -> flag
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+open Psme_ops5
+
+type t = {
+  wmes : Wme.t array;
+  hash : int;
+}
+
+let compute_hash wmes =
+  Array.fold_left (fun acc w -> (acc * 31) + w.Wme.timetag) 17 wmes land max_int
+
+let of_wmes wmes = { wmes; hash = compute_hash wmes }
+let singleton w = of_wmes [| w |]
+
+let extend t w =
+  let n = Array.length t.wmes in
+  let wmes = Array.make (n + 1) w in
+  Array.blit t.wmes 0 wmes 0 n;
+  of_wmes wmes
+
+let concat a b = of_wmes (Array.append a.wmes b.wmes)
+
+let length t = Array.length t.wmes
+let wme t i = t.wmes.(i)
+let prefix t n = of_wmes (Array.sub t.wmes 0 n)
+let suffix t n = of_wmes (Array.sub t.wmes n (Array.length t.wmes - n))
+
+let equal a b =
+  a.hash = b.hash
+  && Array.length a.wmes = Array.length b.wmes
+  && begin
+    let ok = ref true in
+    Array.iteri (fun i w -> if not (Wme.equal w b.wmes.(i)) then ok := false) a.wmes;
+    !ok
+  end
+
+let hash t = t.hash
+let field t ~slot ~fld = Wme.field t.wmes.(slot) fld
+let permute t perm = of_wmes (Array.map (fun i -> t.wmes.(i)) perm)
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf w -> Format.pp_print_int ppf w.Wme.timetag))
+    (Array.to_list t.wmes)

@@ -1,0 +1,39 @@
+(** Partial instantiations.
+
+    A token is the paper's PI: the list of wmes matched so far along one
+    path through the beta network. We store it as an array of wmes, one
+    per {e slot}; a node's [layout] maps slots back to the production's
+    positive-CE indices (identity for linear networks, permuted for
+    bilinear ones). *)
+
+open Psme_ops5
+
+type t = private {
+  wmes : Wme.t array;
+  hash : int;  (** precomputed structural hash of the wme timetags *)
+}
+
+val of_wmes : Wme.t array -> t
+val singleton : Wme.t -> t
+val extend : t -> Wme.t -> t
+(** Append one wme (the usual linear-join step). *)
+
+val concat : t -> t -> t
+(** Concatenate two tokens (binary joins in bilinear networks). *)
+
+val length : t -> int
+val wme : t -> int -> Wme.t
+val prefix : t -> int -> t
+(** First [n] slots. *)
+
+val suffix : t -> int -> t
+(** All slots from index [n] on. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val field : t -> slot:int -> fld:int -> Psme_support.Value.t
+val permute : t -> int array -> t
+(** [permute t perm] builds a token whose slot [i] is [t]'s slot
+    [perm.(i)] — used at P-nodes to restore CE order. *)
+
+val pp : Format.formatter -> t -> unit

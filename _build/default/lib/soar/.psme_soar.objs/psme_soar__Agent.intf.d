@@ -1,0 +1,1 @@
+lib/soar/agent.mli: Cost Cycle Engine Network Production Psme_engine Psme_ops5 Psme_rete Psme_support Schema Sym Value Wm

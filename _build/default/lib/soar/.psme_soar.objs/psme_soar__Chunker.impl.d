@@ -1,0 +1,1 @@
+lib/soar/chunker.ml: Action Array Buffer Cond Hashtbl List Printf Production Psme_ops5 Psme_support String Sym Value Wme

@@ -1,0 +1,1 @@
+lib/soar/chunker.mli: Production Psme_ops5 Psme_support Schema Sym Value Wme

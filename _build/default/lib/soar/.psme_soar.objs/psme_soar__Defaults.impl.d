@@ -1,0 +1,1 @@
+lib/soar/defaults.ml: Parser Prefs Psme_ops5 Psme_support Schema

@@ -1,0 +1,1 @@
+lib/soar/defaults.mli: Production Psme_ops5 Schema

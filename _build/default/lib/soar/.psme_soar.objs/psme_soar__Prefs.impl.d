@@ -1,0 +1,1 @@
+lib/soar/prefs.ml: Array List Psme_ops5 Psme_support Schema Sym Value Wme

@@ -1,0 +1,144 @@
+open Psme_support
+open Psme_ops5
+
+type creator = {
+  c_conds : Wme.t list;
+  c_level : int;
+}
+
+let backtrace ~creator_of ~level_of ~target_level ~seeds =
+  let visited = Hashtbl.create 64 in
+  let grounds = ref [] in
+  let rec visit w =
+    if not (Hashtbl.mem visited w.Wme.timetag) then begin
+      Hashtbl.replace visited w.Wme.timetag ();
+      if level_of w <= target_level then grounds := w :: !grounds
+      else
+        match creator_of w with
+        | Some c -> List.iter visit c.c_conds
+        | None -> ()  (* architecture wme with no recorded provenance *)
+    end
+  in
+  List.iter visit seeds;
+  List.sort Wme.compare !grounds
+
+let build schema ~is_id ~name ~grounds ~results =
+  if grounds = [] then None
+  else begin
+    let var_of = Hashtbl.create 16 in
+    let next_var = ref 0 in
+    let variablize v =
+      if is_id v then begin
+        match Hashtbl.find_opt var_of v with
+        | Some name -> Cond.T_var name
+        | None ->
+          incr next_var;
+          let name = Printf.sprintf "v%d" !next_var in
+          Hashtbl.replace var_of v name;
+          Cond.T_var name
+      end
+      else Cond.T_const v
+    in
+    let lhs =
+      List.map
+        (fun w ->
+          let tests = ref [] in
+          Array.iteri
+            (fun i v -> if not (Value.is_nil v) then tests := (i, variablize v) :: !tests)
+            w.Wme.fields;
+          Cond.Pos (Cond.ce w.Wme.cls (List.rev !tests)))
+        grounds
+    in
+    (* Identifiers bound by the conditions; result ids outside this set
+       are minted fresh at fire time. *)
+    let rhs =
+      List.map
+        (fun (cls, fields) ->
+          let assigns = ref [] in
+          Array.iteri
+            (fun i v ->
+              if not (Value.is_nil v) then
+                let term =
+                  if is_id v then
+                    match Hashtbl.find_opt var_of v with
+                    | Some name -> Action.Tvar name
+                    | None -> Action.Tgensym "c"
+                  else Action.Tconst v
+                in
+                assigns := (i, term) :: !assigns)
+            fields;
+          Action.Make (cls, List.rev !assigns))
+        results
+    in
+    ignore schema;
+    match Production.make ~is_chunk:true ~name ~lhs ~rhs () with
+    | p -> Some p
+    | exception Invalid_argument _ -> None
+  end
+
+let canonical_form schema p =
+  (* Render with variables renamed in order of first occurrence so that
+     two chunks differing only in variable names (or in construction
+     order of identical CEs) compare equal. *)
+  let rename = Hashtbl.create 16 in
+  let next = ref 0 in
+  let var v =
+    match Hashtbl.find_opt rename v with
+    | Some n -> n
+    | None ->
+      incr next;
+      let n = Printf.sprintf "x%d" !next in
+      Hashtbl.replace rename v n;
+      n
+  in
+  let buf = Buffer.create 256 in
+  let rec test_str = function
+    | Cond.T_const v -> Value.to_string v
+    | Cond.T_var v -> "<" ^ var v ^ ">"
+    | Cond.T_rel (r, Cond.Oconst c) ->
+      Printf.sprintf "(%s %s)" (rel_str r) (Value.to_string c)
+    | Cond.T_rel (r, Cond.Ovar v) -> Printf.sprintf "(%s <%s>)" (rel_str r) (var v)
+    | Cond.T_disj vs -> "<<" ^ String.concat " " (List.map Value.to_string vs) ^ ">>"
+    | Cond.T_conj ts -> "{" ^ String.concat " " (List.map test_str ts) ^ "}"
+  and rel_str = function
+    | Cond.Eq -> "="
+    | Cond.Ne -> "<>"
+    | Cond.Lt -> "<"
+    | Cond.Le -> "<="
+    | Cond.Gt -> ">"
+    | Cond.Ge -> ">="
+  in
+  let ce_str ce =
+    Printf.sprintf "(%s %s)" (Sym.name ce.Cond.cls)
+      (String.concat " "
+         (List.map (fun (f, t) -> Printf.sprintf "^%d %s" f (test_str t)) ce.Cond.tests))
+  in
+  let rec cond_str = function
+    | Cond.Pos ce -> ce_str ce
+    | Cond.Neg ce -> "-" ^ ce_str ce
+    | Cond.Ncc g -> "-{" ^ String.concat " " (List.map cond_str g) ^ "}"
+  in
+  List.iter (fun c -> Buffer.add_string buf (cond_str c)) p.Production.lhs;
+  Buffer.add_string buf "-->";
+  List.iter
+    (fun a ->
+      match a with
+      | Action.Make (cls, fields) ->
+        Buffer.add_string buf
+          (Printf.sprintf "(make %s %s)" (Sym.name cls)
+             (String.concat " "
+                (List.map
+                   (fun (f, t) ->
+                     Printf.sprintf "^%d %s" f
+                       (match t with
+                       | Action.Tconst v -> Value.to_string v
+                       | Action.Tvar v -> "<" ^ var v ^ ">"
+                       | Action.Tgensym p -> "(genatom " ^ p ^ ")"))
+                   fields)))
+      | Action.Remove i -> Buffer.add_string buf (Printf.sprintf "(remove %d)" i)
+      | Action.Modify (i, _) -> Buffer.add_string buf (Printf.sprintf "(modify %d)" i)
+      | Action.Write _ -> Buffer.add_string buf "(write)"
+      | Action.Halt -> Buffer.add_string buf "(halt)")
+    p.Production.rhs;
+  ignore schema;
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+open Psme_ops5
+
+(* Two selection styles are provided. The pairwise style creates one
+   better-preference per ordered pair of unequally evaluated items: the
+   chunks it produces encode exact comparisons ("a gain-2 move beats a
+   gain-0 move") and never over-generalize. The best style creates a
+   best-preference for each maximal item through a conjunctive negation:
+   far fewer chunks, but — since negated conditions are not backtraced
+   into chunks (see DESIGN.md) — the learned rules over-generalize when
+   evaluations are coarse. Tasks pick whichever matches their heuristic
+   structure; both resolve ties identically before learning. *)
+
+let pairwise_rule =
+  {|
+; An item whose evaluation strictly exceeds another's is better.
+(sp default*compare-better
+  (goal <g2> ^impasse tie ^object <g1> ^role <r> ^item <o1>)
+  (goal <g2> ^item { <o2> <> <o1> })
+  (evaluation <e1> ^object <o1> ^value <v1>)
+  (evaluation <e2> ^object <o2> ^value < <v1>)
+  -->
+  (make preference ^goal <g1> ^role <r> ^value <o1> ^type better ^referent <o2>))
+|}
+
+let best_rule =
+  {|
+; An item no other item's evaluation strictly exceeds is best.
+(sp default*prefer-best-evaluated
+  (goal <g2> ^impasse tie ^object <g1> ^role <r> ^item <o1>)
+  (evaluation <e1> ^object <o1> ^value <v1>)
+  -{(goal <g2> ^item { <o2> <> <o1> })
+    (evaluation <e2> ^object <o2> ^value > <v1>)}
+  -->
+  (make preference ^goal <g1> ^role <r> ^value <o1> ^type best))
+|}
+
+let common =
+  {|
+
+; Items with equal evaluations are mutually indifferent.
+(sp default*compare-indifferent
+  (goal <g2> ^impasse tie ^object <g1> ^role <r> ^item <o1>)
+  (goal <g2> ^item { <o2> <> <o1> })
+  (evaluation <e1> ^object <o1> ^value <v1>)
+  (evaluation <e2> ^object <o2> ^value <v1>)
+  -->
+  (make preference ^goal <g1> ^role <r> ^value <o1> ^type indifferent ^referent <o2>))
+
+; An item evaluated as failure is rejected outright.
+(sp default*reject-failure
+  (goal <g2> ^impasse tie ^object <g1> ^role <r> ^item <o1>)
+  (evaluation <e1> ^object <o1> ^symbolic-value failure)
+  -->
+  (make preference ^goal <g1> ^role <r> ^value <o1> ^type reject))
+
+; An item evaluated as success is best.
+(sp default*prefer-success
+  (goal <g2> ^impasse tie ^object <g1> ^role <r> ^item <o1>)
+  (evaluation <e1> ^object <o1> ^symbolic-value success)
+  -->
+  (make preference ^goal <g1> ^role <r> ^value <o1> ^type best))
+|}
+
+let source = pairwise_rule ^ common
+let source_best = best_rule ^ common
+
+let prepare schema =
+  Prefs.declare schema;
+  if not (Schema.declared schema (Psme_support.Sym.intern "goal")) then
+    Schema.declare schema "goal" Parser.triple_fields
+
+let productions schema =
+  prepare schema;
+  Parser.productions schema source
+
+let productions_best schema =
+  prepare schema;
+  Parser.productions schema source_best

@@ -1,0 +1,25 @@
+(** Default productions: the selection knowledge every task loads.
+
+    Real Soar systems carry a default production set; ours covers tie
+    impasses resolved by evaluation: task productions compute
+    [(evaluation e ^object item ^value n)] wmes inside the subgoal, and
+    these rules convert evaluations into better / indifferent
+    preferences for the supergoal slot — which both resolves the tie and
+    is the creation of results that chunking summarizes. *)
+
+open Psme_ops5
+
+val source : string
+(** Pairwise comparison style: one better-preference per unequally
+    evaluated pair. Chunks learned through it encode exact comparisons. *)
+
+val source_best : string
+(** Best style: a best-preference per maximal item, via a conjunctive
+    negation. Fewer, more general chunks (the negation is not traced
+    into them). *)
+
+val productions : Schema.t -> Production.t list
+(** Parse {!source} against the schema (declares the triple classes it
+    uses). *)
+
+val productions_best : Schema.t -> Production.t list

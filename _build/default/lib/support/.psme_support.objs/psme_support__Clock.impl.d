@@ -1,0 +1,1 @@
+lib/support/clock.ml: Unix

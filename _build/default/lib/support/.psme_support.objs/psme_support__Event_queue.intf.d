@@ -1,0 +1,1 @@
+lib/support/event_queue.mli:

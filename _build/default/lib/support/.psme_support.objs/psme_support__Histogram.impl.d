@@ -1,0 +1,1 @@
+lib/support/histogram.ml: Array Format List String

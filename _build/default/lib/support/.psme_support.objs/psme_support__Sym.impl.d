@@ -1,0 +1,1 @@
+lib/support/sym.ml: Array Format Hashtbl Mutex Printf Stdlib

@@ -1,0 +1,1 @@
+lib/support/value.ml: Format Hashtbl Stdlib String Sym

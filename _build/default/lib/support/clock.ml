@@ -1,0 +1,6 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let time_ns f =
+  let t0 = now_ns () in
+  let x = f () in
+  (x, now_ns () - t0)

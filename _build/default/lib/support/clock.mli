@@ -1,0 +1,7 @@
+(** Wall-clock timing for measurements. *)
+
+val now_ns : unit -> int
+(** Monotonic-ish wall time in nanoseconds (from [Unix.gettimeofday]). *)
+
+val time_ns : (unit -> 'a) -> 'a * int
+(** Run a thunk and report its elapsed time. *)

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic choice in the repository — workload generation,
+    property-test data, simulated service-time jitter — draws from an
+    explicit [Rng.t] so that runs are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** Raw next 64-bit output of the generator. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives an independent generator (advances [t]). *)

@@ -1,0 +1,46 @@
+type t = int
+
+(* The intern table is append-only: a symbol's integer is an index into
+   [names]. Reads of already-interned symbols go through [name] without
+   locking, which is safe because we never resize [names] in place — we
+   swap in a larger copy while holding the lock, and stale reads of the
+   old array are still correct for indices below the old length. *)
+
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let names = ref (Array.make 4096 "")
+let next = ref 0
+let fresh_counter = ref 0
+
+let intern s =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table s with
+      | Some i -> i
+      | None ->
+        let i = !next in
+        incr next;
+        let cur = !names in
+        if i >= Array.length cur then begin
+          let bigger = Array.make (2 * Array.length cur) "" in
+          Array.blit cur 0 bigger 0 (Array.length cur);
+          names := bigger
+        end;
+        !names.(i) <- s;
+        Hashtbl.add table s i;
+        i)
+
+let name t = !names.(t)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (t : t) = t * 0x9e3779b1 land max_int
+let count () = Mutex.protect lock (fun () -> !next)
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let fresh prefix =
+  let rec try_next () =
+    let n = Mutex.protect lock (fun () -> incr fresh_counter; !fresh_counter) in
+    let s = Printf.sprintf "%s%d" prefix n in
+    let exists = Mutex.protect lock (fun () -> Hashtbl.mem table s) in
+    if exists then try_next () else intern s
+  in
+  try_next ()

@@ -1,0 +1,35 @@
+(** Interned symbols.
+
+    Symbols are the atoms of the production-system language: class names,
+    attribute names, constant values such as [blue] or [robby-the-robot].
+    Interning maps each distinct spelling to a small integer so that
+    symbol comparison — the innermost operation of the matcher — is a
+    single integer compare.
+
+    The intern table is global and protected by a mutex, so symbols may be
+    created from any domain; once created, a symbol is immutable and may
+    be read without synchronization. *)
+
+type t = private int
+(** An interned symbol. Equality, ordering and hashing are O(1). *)
+
+val intern : string -> t
+(** [intern s] returns the unique symbol spelled [s], creating it on first
+    use. Thread-safe. *)
+
+val name : t -> string
+(** [name t] is the spelling [t] was interned from. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val count : unit -> int
+(** Number of distinct symbols interned so far (for diagnostics). *)
+
+val pp : Format.formatter -> t -> unit
+
+val fresh : string -> t
+(** [fresh prefix] interns a symbol [prefix<n>] guaranteed not to have
+    been interned before; used to generate identifiers (Soar ids such as
+    [g12], [o3]) and generated production names. Thread-safe. *)

@@ -1,0 +1,50 @@
+type t =
+  | Sym of Sym.t
+  | Int of int
+  | Float of float
+  | Str of string
+
+let equal a b =
+  match a, b with
+  | Sym x, Sym y -> Sym.equal x y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | (Sym _ | Int _ | Float _ | Str _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Sym x, Sym y -> Sym.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Float _, _ -> -1
+  | _, Float _ -> 1
+
+let hash = function
+  | Sym s -> Sym.hash s
+  | Int i -> i * 0x85ebca6b land max_int
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let sym s = Sym (Sym.intern s)
+let int i = Int i
+let nil = sym "nil"
+let is_nil v = equal v nil
+
+let numeric = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Sym _ | Str _ -> None
+
+let pp ppf = function
+  | Sym s -> Sym.pp ppf s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.pp_print_float ppf f
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v

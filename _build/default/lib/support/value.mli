@@ -1,0 +1,30 @@
+(** Constant values carried by working-memory elements.
+
+    OPS5 attributes hold symbolic or numeric constants. We additionally
+    allow strings (for [write] actions) — they behave like opaque
+    symbols for matching purposes. *)
+
+type t =
+  | Sym of Sym.t
+  | Int of int
+  | Float of float
+  | Str of string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val sym : string -> t
+(** [sym s] is [Sym (Sym.intern s)]. *)
+
+val int : int -> t
+val nil : t
+(** The distinguished symbol [nil], used for absent attributes. *)
+
+val is_nil : t -> bool
+
+val numeric : t -> float option
+(** [numeric v] is the numeric magnitude of [v] if it is a number. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

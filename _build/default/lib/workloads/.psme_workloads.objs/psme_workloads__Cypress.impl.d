@@ -1,0 +1,1 @@
+lib/workloads/cypress.ml: Agent Array Buffer Defaults List Parser Printf Psme_ops5 Psme_soar Psme_support Schema Sym Value Wm Wme Workload

@@ -1,0 +1,1 @@
+lib/workloads/cypress.mli: Agent Psme_ops5 Psme_soar Workload

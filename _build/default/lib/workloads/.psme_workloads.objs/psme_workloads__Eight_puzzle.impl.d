@@ -1,0 +1,1 @@
+lib/workloads/eight_puzzle.ml: Agent Array Buffer Defaults Fun List Parser Printf Psme_ops5 Psme_soar Psme_support Rng Schema String Sym Value Wme Workload

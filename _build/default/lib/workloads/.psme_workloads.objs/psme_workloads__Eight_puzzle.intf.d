@@ -1,0 +1,1 @@
+lib/workloads/eight_puzzle.mli: Agent Psme_ops5 Psme_soar Workload

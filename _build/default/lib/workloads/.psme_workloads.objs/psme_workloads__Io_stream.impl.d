@@ -1,0 +1,1 @@
+lib/workloads/io_stream.ml: Agent Array Buffer Hashtbl List Parser Printf Psme_ops5 Psme_soar Psme_support Rng Schema Sym Value Wm Wme

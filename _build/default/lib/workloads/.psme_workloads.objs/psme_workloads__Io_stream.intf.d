@@ -1,0 +1,1 @@
+lib/workloads/io_stream.mli: Agent Psme_soar

@@ -1,0 +1,1 @@
+lib/workloads/strips.ml: Agent Array Buffer Defaults Fun List Parser Printf Psme_ops5 Psme_soar Psme_support Queue Schema Sym Value Wm Wme Workload

@@ -1,0 +1,1 @@
+lib/workloads/strips.mli: Agent Psme_ops5 Psme_soar Workload

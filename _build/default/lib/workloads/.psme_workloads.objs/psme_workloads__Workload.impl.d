@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Agent List Network Psme_ops5 Psme_rete Psme_soar

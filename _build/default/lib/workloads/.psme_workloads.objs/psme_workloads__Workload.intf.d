@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Agent Psme_ops5 Psme_soar

@@ -1,0 +1,314 @@
+open Psme_support
+open Psme_ops5
+open Psme_soar
+
+let steps =
+  [
+    ("paradigm", [ "divide-conquer"; "transform"; "generate-test" ]);
+    ("decompose", [ "split-pivot"; "split-half"; "split-one" ]);
+    ("base-case", [ "singleton"; "empty"; "pair" ]);
+    ("recursive-step", [ "recurse"; "iterate"; "lookup" ]);
+    ("compose", [ "append"; "merge"; "interleave" ]);
+    ("verify", [ "induction"; "invariant"; "testing" ]);
+    ("optimize", [ "fuse"; "inline"; "no-change" ]);
+    ("package", [ "function"; "module"; "script" ]);
+  ]
+
+let preferred = List.map (fun (s, alts) -> (s, List.hd alts)) steps
+
+let chain_length = 8
+
+let step_names = List.map fst steps
+let next_step s =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if a = s then b else go rest
+    | [ a ] -> if a = s then "design-done" else raise Not_found
+    | [] -> raise Not_found
+  in
+  go step_names
+
+let tok step alt i = Printf.sprintf "tok-%s-%s-%d" step alt i
+
+(* A spec chain walked with variable joins: each CE binds the next
+   link's token, so the compiled join chain is long and strictly
+   dependent — the paper's "long chain" structure. *)
+let chain_ces ~links ~step ~alt ~prefix =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "  (spec <%sf0> ^token %s ^next <%st1>)\n" prefix (tok step alt 0) prefix;
+  for i = 1 to links - 1 do
+    pr "  (spec <%sf%d> ^token <%st%d> ^next <%st%d>)\n" prefix i prefix i prefix (i + 1)
+  done;
+  pr "  (spec <%sf%d> ^token <%st%d> ^tier %d)\n" prefix links prefix links links;
+  Buffer.contents buf
+
+let source =
+  {|
+(sp cy*init
+  (goal <g> ^top-goal yes)
+  -->
+  (make preference ^goal <g> ^role problem-space ^value cypress ^type acceptable))
+
+(sp cy*attach-state
+  (goal <g> ^problem-space cypress)
+  (first-state <f> ^id <s>)
+  -->
+  (make preference ^goal <g> ^role state ^value <s> ^type acceptable))
+
+(sp cy*propose-alternative
+  (goal <g> ^problem-space cypress ^state <s>)
+  (state <s> ^step <k>)
+  (alt <a> ^step <k> ^name <n>)
+  -->
+  (make operator (genatom o) ^name choose ^step <k> ^alt <n>)
+  (make preference ^goal <g> ^role operator ^value (genatom o) ^type acceptable))
+
+(sp cy*apply-choose
+  (goal <g> ^problem-space cypress ^state <s> ^operator <o>)
+  (operator <o> ^name choose ^step <k> ^alt <n>)
+  (succession <ns> ^after <k> ^is <k2>)
+  -->
+  (make design (genatom d) ^step <k> ^choice <n>)
+  (write fixed <k> <n>)
+  (make state (genatom s2) ^copy-from <s> ^step <k2> ^design (genatom d))
+  (make preference ^goal <g> ^role state ^value (genatom s2) ^type acceptable)
+  (make preference ^goal <g> ^role operator ^value <o> ^type reject))
+
+(sp cy*copy-design
+  (goal <g> ^problem-space cypress ^state <s2>)
+  (state <s2> ^copy-from <s>)
+  (state <s> ^design <d>)
+  -->
+  (make state <s2> ^design <d>))
+
+(sp cy*goal-test
+  (goal <g> ^problem-space cypress ^state <s>)
+  (state <s> ^step design-done)
+  -->
+  (write design complete)
+  (halt))
+|}
+
+let generated_rules =
+  let buf = Buffer.create 65536 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let count = ref 0 in
+  let rule fmt =
+    incr count;
+    Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt
+  in
+  ignore pr;
+  let ctx = "(goal <g> ^problem-space cypress ^state <s>)" in
+  (* one evaluation rule per (step, alternative): a full spec-chain walk
+     ending in a quality lookup — ~26 CEs apiece *)
+  List.iter
+    (fun (step, alts) ->
+      List.iter
+        (fun alt ->
+          rule
+            {|
+(sp cy*evaluate-%s-%s
+  (goal <g2> ^impasse tie ^object <g1> ^item <o>)
+  (operator <o> ^name choose ^step %s ^alt %s)
+%s  (quality <q> ^step %s ^alt %s ^value <v>)
+  -->
+  (make evaluation (genatom e) ^object <o> ^value <v>))
+|}
+            step alt step alt
+            (chain_ces ~links:(chain_length - 1) ~step ~alt ~prefix:"")
+            step alt)
+        alts)
+    steps;
+  (* monitor: a fixed design choice, revalidated against its spec chain *)
+  List.iter
+    (fun (step, alts) ->
+      List.iter
+        (fun alt ->
+          rule
+            {|
+(sp cy*monitor-chosen-%s-%s
+  %s
+  (state <s> ^design <d>)
+  (design <d> ^step %s ^choice %s)
+%s  -->
+  (make state <s> ^validated-%s %s))
+|}
+            step alt ctx step alt
+            (chain_ces ~links:4 ~step ~alt ~prefix:"m")
+            step alt)
+        alts)
+    steps;
+  (* monitor: compatibility of consecutive design choices *)
+  let rec consecutive = function
+    | (s1, a1) :: ((s2, a2) :: _ as rest) ->
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              rule
+                {|
+(sp cy*monitor-pair-%s-%s-%s-%s
+  %s
+  (state <s> ^design <d1>)
+  (design <d1> ^step %s ^choice %s)
+  (state <s> ^design <d2>)
+  (design <d2> ^step %s ^choice %s)
+%s  -->
+  (make state <s> ^compatible-%s-%s %s-%s))
+|}
+                s1 x s2 y ctx s1 x s2 y
+                (chain_ces ~links:3 ~step:s1 ~alt:x ~prefix:"p")
+                s1 s2 x y)
+            a2)
+        a1;
+      consecutive rest
+    | _ -> ()
+  in
+  consecutive steps;
+  (* deliberation: full spec-chain walks performed inside the tie
+     subgoal — the work chunking later makes unnecessary (the paper's
+     Cypress spent most of its match in subgoals, which is why its
+     after-chunking run is very short) *)
+  List.iter
+    (fun (step, alts) ->
+      List.iter
+        (fun alt ->
+          rule
+            {|
+(sp cy*deliberate-chain-%s-%s
+  (goal <g2> ^impasse tie ^object <g1>)
+%s  -->
+  (make goal <g2> ^considered-%s %s))
+|}
+            step alt
+            (chain_ces ~links:(chain_length - 1) ~step ~alt ~prefix:"c")
+            step alt)
+        alts)
+    steps;
+  (* note available quality while a step is pending *)
+  List.iter
+    (fun (step, alts) ->
+      List.iter
+        (fun alt ->
+          rule
+            {|
+(sp cy*note-quality-%s-%s
+  %s
+  (state <s> ^step %s)
+  (quality <q> ^step %s ^alt %s ^value <v>)
+  -->
+  (make state <s> ^considering-%s <v>))
+|}
+            step alt ctx step step alt alt)
+        alts)
+    steps;
+  (* filler monitors up to the paper's 196 productions: spec prefix
+     checks, each with distinct constants *)
+  let base_rules = 6 + 4 in
+  (* core + defaults, counted by the caller *)
+  let target = 196 - base_rules in
+  let all_pairs =
+    List.concat_map (fun (s, alts) -> List.map (fun a -> (s, a)) alts) steps
+  in
+  let i = ref 0 in
+  while !count < target do
+    let s, a = List.nth all_pairs (!i mod List.length all_pairs) in
+    incr i;
+    rule
+      {|
+(sp cy*deliberate-prefix-%d-%s-%s
+  (goal <g2> ^impasse tie ^object <g1>)
+%s  -->
+  (make goal <g2> ^weighed-%d yes))
+|}
+      !i s a
+      (chain_ces ~links:(4 + (!i mod 3)) ~step:s ~alt:a ~prefix:"x")
+      !i
+  done;
+  Buffer.contents buf
+
+let make_agent ?(config = Agent.default_config) ?(extra = []) () =
+  let schema = Schema.create () in
+  Agent.prepare_schema schema;
+  let prods =
+    Parser.productions schema source
+    @ Parser.productions schema generated_rules
+    @ Defaults.productions schema
+  in
+  let agent = Agent.create ~config schema (prods @ extra) in
+  let v = Value.sym and i = Value.int in
+  let triple cls id attr value = Agent.add_triple agent ~cls ~id ~attr ~value in
+  (* alternatives, succession, quality, spec chains *)
+  List.iter
+    (fun (step, alts) ->
+      let ns = Agent.new_id agent "ns" in
+      triple "succession" ns "after" (v step);
+      triple "succession" ns "is" (v (next_step step));
+      List.iteri
+        (fun k alt ->
+          let a = Agent.new_id agent "alt" in
+          triple "alt" a "step" (v step);
+          triple "alt" a "name" (v alt);
+          let q = Agent.new_id agent "q" in
+          triple "quality" q "step" (v step);
+          triple "quality" q "alt" (v alt);
+          triple "quality" q "value" (i (match k with 0 -> 10 | 1 -> 5 | _ -> 3));
+          (* the spec chain for this design alternative *)
+          for t = 0 to chain_length - 1 do
+            let f = Agent.new_id agent "spec" in
+            triple "spec" f "token" (v (tok step alt t));
+            triple "spec" f "tier" (i t);
+            if t < chain_length - 1 then
+              triple "spec" f "next" (v (tok step alt (t + 1)))
+          done)
+        alts)
+    steps;
+  let s0 = Agent.new_id agent "s" in
+  triple "state" s0 "step" (v (fst (List.hd steps)));
+  let f = Agent.new_id agent "f" in
+  triple "first-state" f "id" (Value.Sym s0);
+  agent
+
+let derivation agent =
+  let wm = Agent.wm agent in
+  match Agent.slot agent ~goal:(Agent.top_goal agent) ~role:"state" with
+  | None | Some (Value.Int _ | Value.Float _ | Value.Str _) -> []
+  | Some (Value.Sym s) ->
+    let designs = ref [] in
+    Wm.iter
+      (fun w ->
+        if
+          Sym.name w.Wme.cls = "state"
+          && Value.equal w.Wme.fields.(0) (Value.Sym s)
+          && Value.equal w.Wme.fields.(1) (Value.sym "design")
+        then designs := w.Wme.fields.(2) :: !designs)
+      wm;
+    let attr_of d name =
+      let out = ref None in
+      Wm.iter
+        (fun w ->
+          if
+            Sym.name w.Wme.cls = "design"
+            && Value.equal w.Wme.fields.(0) d
+            && Value.equal w.Wme.fields.(1) (Value.sym name)
+          then out := Some w.Wme.fields.(2))
+        wm;
+      !out
+    in
+    List.filter_map
+      (fun d ->
+        match attr_of d "step", attr_of d "choice" with
+        | Some (Value.Sym st), Some (Value.Sym c) -> Some (Sym.name st, Sym.name c)
+        | _ -> None)
+      !designs
+    |> List.sort compare
+
+let workload =
+  {
+    Workload.name = "cypress";
+    paper_productions = 196;
+    paper_uniproc_s = 172.7;
+    paper_uniproc_after_s = 9.5;
+    make = (fun ?config ?extra () -> make_agent ?config ?extra ());
+    chunks_expected = 26;
+  }

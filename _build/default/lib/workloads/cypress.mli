@@ -1,0 +1,38 @@
+(** Cypress-Soar substitute: algorithm design as a derivation task.
+
+    The original Cypress-Soar rule base (196 productions; derives
+    quicksort) is not available, so this module implements the closest
+    synthetic equivalent: a divide-and-conquer {e design space} in which
+    the agent derives a sorting algorithm by fixing one design dimension
+    at a time — paradigm, decomposition, base case, recursive step,
+    composition, verification, optimization, packaging — each with three
+    competing alternatives resolved through tie impasses, evaluation
+    subgoals and chunking, exactly like the other tasks.
+
+    What the paper uses Cypress for is its {e match profile}: many large
+    productions (average ≈26 CEs), long dependent join chains, big
+    chunks (≈51 CEs), and the largest uniprocessor time of the three
+    tasks. The generator reproduces those properties structurally:
+    every evaluation and monitor rule walks a multi-fact specification
+    chain (variable-linked spec wmes), which is precisely what produces
+    long chains of dependent node activations. See DESIGN.md for the
+    substitution note. *)
+
+open Psme_soar
+
+val steps : (string * string list) list
+(** The design dimensions and their alternatives, in derivation order. *)
+
+val preferred : (string * string) list
+(** The quicksort-like target derivation (step, alternative). *)
+
+val chain_length : int
+(** Spec-chain facts walked by each evaluation rule. *)
+
+val source : string
+val generated_rules : string
+val make_agent :
+  ?config:Agent.config -> ?extra:Psme_ops5.Production.t list -> unit -> Agent.t
+val workload : Workload.t
+val derivation : Agent.t -> (string * string) list
+(** Choices fixed in the final design state. *)

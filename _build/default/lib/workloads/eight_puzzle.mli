@@ -1,0 +1,39 @@
+(** Eight-Puzzle-Soar (the paper's 71-production task).
+
+    The puzzle is solved by greedy operator selection: all legal moves
+    are proposed as operators; the resulting tie impasse is resolved in
+    a selection subgoal by evaluating each move's effect on the moved
+    tile's distance to its target cell; chunks learned from those
+    evaluations prefer good moves directly in later situations. A
+    monitor/elaboration rule family (one rule per tile/cell, as real
+    Soar systems carried) brings the production count to the paper's
+    71. *)
+
+open Psme_soar
+
+type instance = { board : int array }
+(** Row-major 3x3, [0] is the blank. *)
+
+val goal_board : instance
+val scrambled : seed:int -> moves:int -> instance
+(** Apply [moves] legal random moves to the goal configuration (always
+    solvable; never undoes the immediately preceding move). *)
+
+val source : string
+(** Hand-written core rules. *)
+
+val generated_rules : string
+(** The monitor/elaboration family. *)
+
+val make_agent :
+  ?config:Agent.config ->
+  ?extra:Psme_ops5.Production.t list ->
+  ?instance:instance ->
+  unit ->
+  Agent.t
+val workload : Workload.t
+(** Default instance: [scrambled ~seed:14 ~moves:10]. *)
+
+val solved : Agent.t -> bool
+(** The last run reached the goal configuration (a [(halt)] fired and
+    "solved" was written). *)

@@ -1,0 +1,107 @@
+open Psme_support
+open Psme_ops5
+open Psme_soar
+
+type params = {
+  channels : int;
+  rate : int;
+  ticks : int;
+  seed : int;
+}
+
+let default_params = { channels = 6; rate = 4; ticks = 25; seed = 7 }
+
+let channel_name k = Printf.sprintf "ch-%d" (k + 1)
+
+let source p =
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  for k = 0 to p.channels - 1 do
+    let ch = channel_name k in
+    (* thresholds differ per channel so the rules stay distinct *)
+    let hi = 60 + (5 * (k mod 5)) in
+    let lo = 15 + (3 * (k mod 4)) in
+    pr
+      {|
+(sp io*classify-high-%s
+  (reading <r> ^channel %s ^value > %d ^tick <n>)
+  -->
+  (make alert (genatom a) ^channel %s ^kind high ^tick <n>))
+|}
+      ch ch hi ch;
+    pr
+      {|
+(sp io*classify-low-%s
+  (reading <r> ^channel %s ^value < %d ^tick <n>)
+  -->
+  (make alert (genatom a) ^channel %s ^kind low ^tick <n>))
+|}
+      ch ch lo ch;
+    pr
+      {|
+(sp io*spike-%s
+  (reading <r> ^channel %s ^value > 93 ^tick <n>)
+  -->
+  (make alert (genatom a) ^channel %s ^kind spike ^tick <n>))
+|}
+      ch ch ch
+  done;
+  (* cross-channel correlation within one tick *)
+  for k = 0 to p.channels - 2 do
+    pr
+      {|
+(sp io*correlate-%s-%s
+  (reading <r1> ^channel %s ^value > 75 ^tick <n>)
+  (reading <r2> ^channel %s ^value > 75 ^tick <n>)
+  -->
+  (make alert (genatom a) ^kind correlated ^tick <n>))
+|}
+      (channel_name k)
+      (channel_name (k + 1))
+      (channel_name k)
+      (channel_name (k + 1))
+  done;
+  (* a per-tick summary over all alerts *)
+  pr
+    {|
+(sp io*tick-summary
+  (alert <a> ^kind spike ^tick <n>)
+  (alert <b> ^kind correlated ^tick <n>)
+  -->
+  (make alert (genatom s) ^kind storm ^tick <n>))
+|};
+  Buffer.contents buf
+
+let make_agent ?config ?(params = default_params) () =
+  let config =
+    match config with
+    | Some c -> { c with Agent.learning = false; max_decisions = params.ticks }
+    | None ->
+      { Agent.default_config with Agent.learning = false; max_decisions = params.ticks }
+  in
+  let schema = Schema.create () in
+  Agent.prepare_schema schema;
+  let prods = Parser.productions schema (source params) in
+  let agent = Agent.create ~config schema prods in
+  let rng = Rng.create params.seed in
+  Agent.set_input agent (fun tick ->
+      List.concat
+        (List.init params.channels (fun k ->
+             List.init params.rate (fun _ ->
+                 let id = Sym.fresh "rd" in
+                 let v = Rng.int rng 100 in
+                 [
+                   ("reading", id, "channel", Value.sym (channel_name k));
+                   ("reading", id, "value", Value.Int v);
+                   ("reading", id, "tick", Value.Int tick);
+                 ])
+             |> List.concat)));
+  agent
+
+let alerts agent =
+  let ids = Hashtbl.create 256 in
+  Wm.iter
+    (fun w ->
+      if Sym.name w.Wme.cls = "alert" then Hashtbl.replace ids w.Wme.fields.(0) ())
+    (Agent.wm agent);
+  Hashtbl.length ids

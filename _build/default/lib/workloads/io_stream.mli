@@ -1,0 +1,32 @@
+(** The §7 I/O workload: external sensor input streaming into working
+    memory.
+
+    The paper expected the planned input/output module — with
+    applications "in fields such as Robotics" — to raise the rate of
+    working-memory change and hence the available parallelism. This
+    task realizes that: every decision cycle, [rate] fresh readings per
+    sensor channel arrive through {!Psme_soar.Agent.set_input};
+    classification and cross-channel correlation productions elaborate
+    them. Raising [rate] makes the elaboration cycles larger, which is
+    precisely the regime in which the paper's speedups improve. *)
+
+open Psme_soar
+
+type params = {
+  channels : int;
+  rate : int;   (** readings per channel per decision cycle *)
+  ticks : int;  (** decision cycles to run *)
+  seed : int;
+}
+
+val default_params : params
+
+val source : params -> string
+(** Per-channel classification and correlation productions. *)
+
+val make_agent : ?config:Agent.config -> ?params:params -> unit -> Agent.t
+(** Learning off; the input function is attached; the run ends after
+    [ticks] decision cycles. *)
+
+val alerts : Agent.t -> int
+(** Alert wmes raised over the run. *)

@@ -1,0 +1,552 @@
+open Psme_support
+open Psme_ops5
+open Psme_soar
+
+type layout = {
+  rows : int;
+  cols : int;
+  closed_doors : (int * int) list;
+  robot_room : int;
+  boxes : (string * int) list;
+  goal_box : string;
+  goal_room : int;
+}
+
+(* rooms
+     r1 r2 r3
+     r4 r5 r6
+   robby starts in r1; box1 (the goal box) in r4 must reach r6, and the
+   r4-r5 door starts closed so the plan must open it. *)
+let default_layout =
+  {
+    rows = 2;
+    cols = 3;
+    closed_doors = [ (3, 4); (2, 5) ];
+    robot_room = 0;
+    boxes = [ ("box1", 3); ("box2", 1); ("box3", 4) ];
+    goal_box = "box1";
+    goal_room = 5;
+  }
+
+let room_name i = Printf.sprintf "r%d" (i + 1)
+
+let room_pairs l =
+  let idx r c = (r * l.cols) + c in
+  let pairs = ref [] in
+  for r = 0 to l.rows - 1 do
+    for c = 0 to l.cols - 1 do
+      if c + 1 < l.cols then pairs := (idx r c, idx r (c + 1)) :: !pairs;
+      if r + 1 < l.rows then pairs := (idx r c, idx (r + 1) c) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let door_name (a, b) = Printf.sprintf "d%d%d" (min a b + 1) (max a b + 1)
+
+let rooms l = List.init (l.rows * l.cols) Fun.id
+
+(* BFS distances over the room graph (doors treated as passable: the
+   heuristic ignores closed doors, as STRIPS difference tables did). *)
+let distances l =
+  let n = l.rows * l.cols in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    (room_pairs l);
+  let dist = Array.make_matrix n n max_int in
+  List.iter
+    (fun s ->
+      dist.(s).(s) <- 0;
+      let q = Queue.create () in
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if dist.(s).(v) = max_int then begin
+              dist.(s).(v) <- dist.(s).(u) + 1;
+              Queue.add v q
+            end)
+          adj.(u)
+      done)
+    (rooms l);
+  dist
+
+let max_dist l =
+  let d = distances l in
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 d
+
+(* --- hand-written core rules ----------------------------------------- *)
+
+let source _layout =
+  {|
+(sp st*init
+  (goal <g> ^top-goal yes)
+  -->
+  (make preference ^goal <g> ^role problem-space ^value strips ^type acceptable))
+
+(sp st*attach-state
+  (goal <g> ^problem-space strips)
+  (first-state <f> ^id <s>)
+  -->
+  (make preference ^goal <g> ^role state ^value <s> ^type acceptable))
+
+(sp st*propose-gothru
+  (goal <g> ^problem-space strips ^state <s>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred in-room ^obj robby ^room <r1>)
+  (door <d> ^room1 <r1> ^room2 <r2> ^name <dn>)
+  (state <s> ^holds <h2>)
+  (holds <h2> ^pred door-open ^obj <dn>)
+  -->
+  (make operator (genatom o) ^name go-thru ^door-name <dn> ^to-room <r2>)
+  (make preference ^goal <g> ^role operator ^value (genatom o) ^type acceptable))
+
+(sp st*propose-open-door
+  (goal <g> ^problem-space strips ^state <s>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred in-room ^obj robby ^room <r1>)
+  (door <d> ^room1 <r1> ^room2 <r2> ^name <dn>)
+  -{(state <s> ^holds <h2>)
+    (holds <h2> ^pred door-open ^obj <dn>)}
+  -->
+  (make operator (genatom o) ^name open-door ^door-name <dn> ^to-room <r2>)
+  (make preference ^goal <g> ^role operator ^value (genatom o) ^type acceptable))
+
+(sp st*propose-pushthru
+  (goal <g> ^problem-space strips ^state <s>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred in-room ^obj robby ^room <r1>)
+  (state <s> ^holds <hb>)
+  (holds <hb> ^pred box-in ^obj <b> ^room <r1>)
+  (door <d> ^room1 <r1> ^room2 <r2> ^name <dn>)
+  (state <s> ^holds <h2>)
+  (holds <h2> ^pred door-open ^obj <dn>)
+  -->
+  (make operator (genatom o) ^name push-thru ^box <b> ^door-name <dn> ^to-room <r2>)
+  (make preference ^goal <g> ^role operator ^value (genatom o) ^type acceptable))
+
+(sp st*apply-gothru
+  (goal <g> ^problem-space strips ^state <s> ^operator <o>)
+  (operator <o> ^name go-thru ^door-name <dn> ^to-room <r2>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred in-room ^obj robby)
+  -->
+  (make state (genatom s2) ^copy-from <s> ^drop <h> ^last-door <dn>)
+  (make holds (genatom h2) ^pred in-room ^obj robby ^room <r2>)
+  (make state (genatom s2) ^holds (genatom h2))
+  (write go-thru <dn>)
+  (make preference ^goal <g> ^role state ^value (genatom s2) ^type acceptable)
+  (make preference ^goal <g> ^role operator ^value <o> ^type reject))
+
+(sp st*apply-open-door
+  (goal <g> ^problem-space strips ^state <s> ^operator <o>)
+  (operator <o> ^name open-door ^door-name <dn>)
+  -->
+  (make state (genatom s2) ^copy-from <s>)
+  (make holds (genatom h2) ^pred door-open ^obj <dn>)
+  (make state (genatom s2) ^holds (genatom h2))
+  (write open-door <dn>)
+  (make preference ^goal <g> ^role state ^value (genatom s2) ^type acceptable)
+  (make preference ^goal <g> ^role operator ^value <o> ^type reject))
+
+(sp st*apply-pushthru
+  (goal <g> ^problem-space strips ^state <s> ^operator <o>)
+  (operator <o> ^name push-thru ^box <b> ^door-name <dn> ^to-room <r2>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred in-room ^obj robby)
+  (state <s> ^holds <hb>)
+  (holds <hb> ^pred box-in ^obj <b>)
+  -->
+  (make state (genatom s2) ^copy-from <s> ^drop <h> ^drop <hb> ^last-door <dn>)
+  (make holds (genatom h2) ^pred in-room ^obj robby ^room <r2>)
+  (make holds (genatom h3) ^pred box-in ^obj <b> ^room <r2>)
+  (make state (genatom s2) ^holds (genatom h2) ^holds (genatom h3))
+  (write push-thru <b> <dn>)
+  (make preference ^goal <g> ^role state ^value (genatom s2) ^type acceptable)
+  (make preference ^goal <g> ^role operator ^value <o> ^type reject))
+
+(sp st*copy-holds
+  (goal <g> ^problem-space strips ^state <s2>)
+  (state <s2> ^copy-from <s>)
+  (state <s> ^holds <h>)
+  -(state <s2> ^drop <h>)
+  -->
+  (make state <s2> ^holds <h>))
+
+(sp st*elab-objective-approach
+  (goal <g> ^problem-space strips ^state <s>)
+  (task-goal <tg> ^box <b>)
+  (state <s> ^holds <h1>)
+  (holds <h1> ^pred in-room ^obj robby ^room <rr>)
+  (state <s> ^holds <h2>)
+  (holds <h2> ^pred box-in ^obj <b> ^room { <br> <> <rr> })
+  -->
+  (make state <s> ^objective <br>))
+
+(sp st*elab-objective-deliver
+  (goal <g> ^problem-space strips ^state <s>)
+  (task-goal <tg> ^box <b> ^room <rt>)
+  (state <s> ^holds <h1>)
+  (holds <h1> ^pred in-room ^obj robby ^room <rr>)
+  (state <s> ^holds <h2>)
+  (holds <h2> ^pred box-in ^obj <b> ^room <rr>)
+  -->
+  (make state <s> ^objective <rt>))
+
+(sp st*evaluate-move
+  (goal <g2> ^impasse tie ^object <g1> ^item <o>)
+  (goal <g1> ^state <s>)
+  (state <s> ^objective <obj>)
+  (operator <o> ^name go-thru ^to-room <r2>)
+  (room-dist <rd> ^from <r2> ^to <obj> ^value <dv>)
+  (score-move <sc> ^dist <dv> ^value <v>)
+  -->
+  (make evaluation (genatom e) ^object <o> ^value <v>))
+
+(sp st*evaluate-open
+  (goal <g2> ^impasse tie ^object <g1> ^item <o>)
+  (goal <g1> ^state <s>)
+  (state <s> ^objective <obj>)
+  (operator <o> ^name open-door ^to-room <r2>)
+  (room-dist <rd> ^from <r2> ^to <obj> ^value <dv>)
+  (score-open <sc> ^dist <dv> ^value <v>)
+  -->
+  (make evaluation (genatom e) ^object <o> ^value <v>))
+
+(sp st*evaluate-push
+  (goal <g2> ^impasse tie ^object <g1> ^item <o>)
+  (goal <g1> ^state <s>)
+  (state <s> ^objective <obj>)
+  (operator <o> ^name push-thru ^box <b> ^to-room <r2>)
+  (task-goal <tg> ^box <b>)
+  (room-dist <rd> ^from <r2> ^to <obj> ^value <dv>)
+  (score-push <sc> ^dist <dv> ^value <v>)
+  -->
+  (make evaluation (genatom e) ^object <o> ^value <v>))
+
+(sp st*evaluate-push-other
+  (goal <g2> ^impasse tie ^object <g1> ^item <o>)
+  (operator <o> ^name push-thru ^box <b>)
+  (task-goal <tg> ^box <> <b>)
+  -->
+  (make evaluation (genatom e) ^object <o> ^value 0))
+
+(sp st*reject-backtrack
+  (goal <g> ^problem-space strips ^state <s>)
+  (state <s> ^last-door <dn>)
+  (operator <o> ^name go-thru ^door-name <dn>)
+  -->
+  (make preference ^goal <g> ^role operator ^value <o> ^type reject))
+
+(sp st*goal-test
+  (goal <g> ^problem-space strips ^state <s>)
+  (task-goal <tg> ^box <b> ^room <rt>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred box-in ^obj <b> ^room <rt>)
+  -->
+  (write strips done)
+  (halt))
+|}
+
+(* --- the Figure 6-7 long-chain production ----------------------------- *)
+
+let monitor_production l =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "(sp monitor-strips-state\n";
+  pr "  (goal <g> ^problem-space strips ^state <s>)\n";
+  pr "  (object <ob> ^name robby ^type robot)\n";
+  pr "  (state <s> ^holds <hr>)\n";
+  pr "  (holds <hr> ^pred in-room ^obj robby ^room <anyr>)\n";
+  let open_doors =
+    List.filter (fun p -> not (List.mem p l.closed_doors)) (room_pairs l)
+  in
+  List.iteri
+    (fun i p ->
+      pr "  (door <dv%d> ^name %s ^room1 <dr%da> ^room2 <dr%db>)\n" i (door_name p) i i;
+      pr "  (state <s> ^holds <hd%d>)\n" i;
+      pr "  (holds <hd%d> ^pred door-open ^obj %s)\n" i (door_name p))
+    open_doors;
+  List.iteri
+    (fun i (b, _) ->
+      pr "  (object <bo%d> ^name %s ^type box)\n" i b;
+      pr "  (state <s> ^holds <hb%d>)\n" i;
+      pr "  (holds <hb%d> ^pred box-in ^obj %s ^room <br%d>)\n" i b i)
+    l.boxes;
+  pr "  (task-goal <tg> ^box <gb> ^room <gr>)\n";
+  pr "  -->\n";
+  pr "  (make state <s> ^monitored yes))\n";
+  Buffer.contents buf
+
+(* --- generated monitor/elaboration families --------------------------- *)
+
+let generated_rules l =
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let dist = distances l in
+  let ctx = "(goal <g> ^problem-space strips ^state <s>)" in
+  List.iter
+    (fun p ->
+      let dn = door_name p in
+      pr
+        {|
+(sp st*monitor-door-open-%s
+  %s
+  (state <s> ^holds <h>)
+  (holds <h> ^pred door-open ^obj %s)
+  -->
+  (make state <s> ^door-ok %s))
+|}
+        dn ctx dn dn;
+      pr
+        {|
+(sp st*elab-can-pass-%s
+  %s
+  (state <s> ^holds <hr>)
+  (holds <hr> ^pred in-room ^obj robby ^room <r1>)
+  (door <d> ^room1 <r1> ^name %s)
+  (state <s> ^door-ok %s)
+  -->
+  (make state <s> ^can-pass %s))
+|}
+        dn ctx dn dn dn)
+    (room_pairs l);
+  List.iter
+    (fun r ->
+      let rn = room_name r in
+      pr
+        {|
+(sp st*monitor-robot-at-%s
+  %s
+  (state <s> ^holds <h>)
+  (holds <h> ^pred in-room ^obj robby ^room %s)
+  -->
+  (make state <s> ^robot-at %s))
+|}
+        rn ctx rn rn;
+      pr
+        {|
+(sp st*monitor-objective-%s
+  %s
+  (state <s> ^objective %s)
+  -->
+  (make state <s> ^focus-room %s))
+|}
+        rn ctx rn rn)
+    (rooms l);
+  List.iter
+    (fun (b, _) ->
+      pr
+        {|
+(sp st*monitor-with-robot-%s
+  %s
+  (state <s> ^holds <h1>)
+  (holds <h1> ^pred in-room ^obj robby ^room <r>)
+  (state <s> ^holds <h2>)
+  (holds <h2> ^pred box-in ^obj %s ^room <r>)
+  -->
+  (make state <s> ^with-robot %s))
+|}
+        b ctx b b;
+      pr
+        {|
+(sp st*elab-box-room-%s
+  %s
+  (state <s> ^holds <h>)
+  (holds <h> ^pred box-in ^obj %s ^room <r>)
+  -->
+  (make state <s> ^room-of-%s <r>))
+|}
+        b ctx b b;
+      pr
+        {|
+(sp st*monitor-delivered-%s
+  %s
+  (task-goal <tg> ^room <rt>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred box-in ^obj %s ^room <rt>)
+  -->
+  (make state <s> ^delivered %s))
+|}
+        b ctx b b)
+    l.boxes;
+  (* deliberation families: box-location notes and route appraisal run
+     inside the tie subgoal, so learned chunks make this work vanish in
+     after-chunking runs (the paper's Strips after run is shorter). *)
+  List.iter
+    (fun (b, _) ->
+      List.iter
+        (fun r ->
+          pr
+            {|
+(sp st*note-%s-%s
+  (goal <g2> ^impasse tie ^object <g1>)
+  (goal <g1> ^state <s>)
+  (state <s> ^holds <h>)
+  (holds <h> ^pred box-in ^obj %s ^room %s)
+  -->
+  (make goal <g2> ^note-%s-%s yes))
+|}
+            b (room_name r) b (room_name r) b (room_name r))
+        (rooms l))
+    l.boxes;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then
+            pr
+              {|
+(sp st*focus-%s-%s
+  (goal <g2> ^impasse tie ^object <g1>)
+  (goal <g1> ^state <s>)
+  (state <s> ^robot-at %s ^objective %s)
+  (state <s> ^holds <h1>)
+  (holds <h1> ^pred in-room ^obj robby ^room %s)
+  -->
+  (make goal <g2> ^span %d))
+|}
+              (room_name a) (room_name b) (room_name a) (room_name b)
+              (room_name a) dist.(a).(b))
+        (rooms l))
+    (rooms l);
+  Buffer.contents buf
+
+(* --- agent construction ------------------------------------------------ *)
+
+let make_agent ?(config = Agent.default_config) ?(extra = []) ?(layout = default_layout)
+    () =
+  let schema = Schema.create () in
+  Agent.prepare_schema schema;
+  let prods =
+    Parser.productions schema (source layout)
+    @ Parser.productions schema (monitor_production layout)
+    @ Parser.productions schema (generated_rules layout)
+    @ Defaults.productions_best schema
+  in
+  let agent = Agent.create ~config schema (prods @ extra) in
+  let v = Value.sym and i = Value.int in
+  let triple cls id attr value = Agent.add_triple agent ~cls ~id ~attr ~value in
+  (* static objects *)
+  let obj name ty =
+    let id = Agent.new_id agent "ob" in
+    triple "object" id "name" (v name);
+    triple "object" id "type" (v ty)
+  in
+  obj "robby" "robot";
+  List.iter (fun (b, _) -> obj b "box") layout.boxes;
+  (* doors, one object per orientation *)
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun (x, y) ->
+          let id = Agent.new_id agent "dr" in
+          triple "door" id "name" (v (door_name (a, b)));
+          triple "door" id "room1" (v (room_name x));
+          triple "door" id "room2" (v (room_name y)))
+        [ (a, b); (b, a) ];
+      obj (door_name (a, b)) "door")
+    (room_pairs layout);
+  (* distance table and score tables *)
+  let dist = distances layout in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let id = Agent.new_id agent "rd" in
+          triple "room-dist" id "from" (v (room_name a));
+          triple "room-dist" id "to" (v (room_name b));
+          triple "room-dist" id "value" (i dist.(a).(b)))
+        (rooms layout))
+    (rooms layout);
+  (* One distance scale for every operator kind: moving (or pushing)
+     into a room at distance d of the objective scores 2*(md-d); a push
+     of the goal box earns +1 (progress on the real goal); opening a
+     door earns -1 relative to actually moving through it. *)
+  let md = max_dist layout in
+  for d = 0 to md do
+    let sm = Agent.new_id agent "sm" in
+    triple "score-move" sm "dist" (i d);
+    triple "score-move" sm "value" (i (2 * (md - d)));
+    let so = Agent.new_id agent "so" in
+    triple "score-open" so "dist" (i d);
+    triple "score-open" so "value" (i (max 0 ((2 * (md - d)) - 1)));
+    let sp = Agent.new_id agent "sp" in
+    triple "score-push" sp "dist" (i d);
+    triple "score-push" sp "value" (i ((2 * (md - d)) + 1))
+  done;
+  (* the task goal *)
+  let tg = Agent.new_id agent "tg" in
+  triple "task-goal" tg "box" (v layout.goal_box);
+  triple "task-goal" tg "room" (v (room_name layout.goal_room));
+  (* the initial state *)
+  let s0 = Agent.new_id agent "s" in
+  let holds assigns =
+    let h = Agent.new_id agent "h" in
+    List.iter (fun (attr, value) -> triple "holds" h attr value) assigns;
+    triple "state" s0 "holds" (Value.Sym h)
+  in
+  holds [ ("pred", v "in-room"); ("obj", v "robby");
+          ("room", v (room_name layout.robot_room)) ];
+  List.iter
+    (fun (b, r) ->
+      holds [ ("pred", v "box-in"); ("obj", v b); ("room", v (room_name r)) ])
+    layout.boxes;
+  List.iter
+    (fun p ->
+      if not (List.mem p layout.closed_doors) then
+        holds [ ("pred", v "door-open"); ("obj", v (door_name p)) ])
+    (room_pairs layout);
+  let f = Agent.new_id agent "f" in
+  triple "first-state" f "id" (Value.Sym s0);
+  agent
+
+(* The goal box sits in the target room of the current state. *)
+let solved agent =
+  let wm = Agent.wm agent in
+  match Agent.slot agent ~goal:(Agent.top_goal agent) ~role:"state" with
+  | None | Some (Value.Int _ | Value.Float _ | Value.Str _) -> false
+  | Some (Value.Sym s) ->
+    let layout = default_layout in
+    let target = Value.sym (room_name layout.goal_room) in
+    let box = Value.sym layout.goal_box in
+    let hold_ids = ref [] in
+    Wm.iter
+      (fun w ->
+        if
+          Sym.name w.Wme.cls = "state"
+          && Value.equal w.Wme.fields.(0) (Value.Sym s)
+          && Value.equal w.Wme.fields.(1) (Value.sym "holds")
+        then hold_ids := w.Wme.fields.(2) :: !hold_ids)
+      wm;
+    let attr_of h name =
+      let out = ref None in
+      Wm.iter
+        (fun w ->
+          if
+            Sym.name w.Wme.cls = "holds"
+            && Value.equal w.Wme.fields.(0) h
+            && Value.equal w.Wme.fields.(1) (Value.sym name)
+          then out := Some w.Wme.fields.(2))
+        wm;
+      !out
+    in
+    List.exists
+      (fun h ->
+        attr_of h "pred" = Some (Value.sym "box-in")
+        && attr_of h "obj" = Some box
+        && attr_of h "room" = Some target)
+      !hold_ids
+
+let workload =
+  {
+    Workload.name = "strips";
+    paper_productions = 105;
+    paper_uniproc_s = 43.7;
+    paper_uniproc_after_s = 30.6;
+    make = (fun ?config ?extra () -> make_agent ?config ?extra ());
+    chunks_expected = 26;
+  }

@@ -1,0 +1,40 @@
+(** Strips-Soar: planning in the robot-control domain of Fikes, Hart &
+    Nilsson's STRIPS (the paper's 105-production task).
+
+    A robot moves through a grid of rooms connected by doors (some
+    initially closed), and must push a goal box to a target room.
+    Operators: [go-thru], [push-thru], [open-door]. Selection works as
+    in Eight-Puzzle: ties among proposed operators are evaluated in a
+    subgoal against a precomputed room-distance table. The module also
+    contains the paper's Figure 6-7 {e long-chain} production
+    ([monitor-strips-state], 40+ condition elements), which is what the
+    constrained-bilinear ablation (Figure 6-8) restructures. *)
+
+open Psme_soar
+
+type layout = {
+  rows : int;
+  cols : int;
+  closed_doors : (int * int) list;  (** room-index pairs whose door starts closed *)
+  robot_room : int;
+  boxes : (string * int) list;      (** box name, start room *)
+  goal_box : string;
+  goal_room : int;
+}
+
+val default_layout : layout
+(** 2x3 rooms; the goal box must cross a closed door. *)
+
+val source : layout -> string
+val generated_rules : layout -> string
+val monitor_production : layout -> string
+(** The Figure 6-7 long-chain production (>= 40 CEs). *)
+
+val make_agent :
+  ?config:Agent.config ->
+  ?extra:Psme_ops5.Production.t list ->
+  ?layout:layout ->
+  unit ->
+  Agent.t
+val workload : Workload.t
+val solved : Agent.t -> bool

@@ -1,0 +1,15 @@
+open Psme_rete
+open Psme_soar
+
+type t = {
+  name : string;
+  paper_productions : int;
+  paper_uniproc_s : float;
+  paper_uniproc_after_s : float;
+  make : ?config:Agent.config -> ?extra:Psme_ops5.Production.t list -> unit -> Agent.t;
+  chunks_expected : int;
+}
+
+let production_count t =
+  let agent = t.make () in
+  List.length (Network.productions (Agent.network agent))

@@ -1,0 +1,25 @@
+(** Common shape of the three measured Soar tasks.
+
+    Each workload builds an agent loaded with its production set (task
+    rules, the selection defaults, and the task's monitor/elaboration
+    rule families — real Soar systems carried such families, which is
+    how the paper's production counts arise) and its initial working
+    memory. The paper's reference numbers (production counts, uniprocessor
+    seconds) are carried along for the harness's tables. *)
+
+open Psme_soar
+
+type t = {
+  name : string;
+  paper_productions : int;   (** production count reported in the paper *)
+  paper_uniproc_s : float;   (** Figure 6-1 uniprocessor match seconds *)
+  paper_uniproc_after_s : float;  (** Figure 6-10 *)
+  make : ?config:Agent.config -> ?extra:Psme_ops5.Production.t list -> unit -> Agent.t;
+      (** fresh agent, productions loaded (plus [extra], e.g. chunks from
+          an earlier learning run for after-chunking measurements),
+          initial wmes buffered *)
+  chunks_expected : int;  (** Table 5-2's "number of chunks added" *)
+}
+
+val production_count : t -> int
+(** Actual number of productions loaded (counted on a fresh agent). *)

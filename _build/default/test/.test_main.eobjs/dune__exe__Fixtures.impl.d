@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Build Conflict_set List Network Parser Printf Psme_engine Psme_ops5 Psme_rete Psme_support Schema String Sym Task Token Value Wm Wme

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Build Cycle Engine Fixtures List Network Parallel Printf Psme_engine Psme_ops5 Psme_rete Psme_support Rng Schema Serial Sim Sym Task Value Wme

@@ -1,0 +1,1 @@
+test/test_future_work.ml: Agent Alcotest Diagnose Eight_puzzle Engine Experiments Io_stream List Parallel Printf Psme_engine Psme_harness Psme_soar Psme_workloads Sim Strips Workload

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Experiments List Printf Psme_harness Psme_support

@@ -1,0 +1,1 @@
+test/test_ops5.ml: Alcotest Array Cond Fixtures Lexer List Parser Production Psme_ops5 Psme_support Schema Sym Value Wm Wme

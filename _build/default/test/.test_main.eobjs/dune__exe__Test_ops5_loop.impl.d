@@ -1,0 +1,1 @@
+test/test_ops5_loop.ml: Alcotest Engine List Ops5_loop Parallel Parser Psme_engine Psme_ops5 Psme_rete Psme_support Schema Sim Sym Value Wm Wme

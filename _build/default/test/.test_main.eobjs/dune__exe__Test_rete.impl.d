@@ -1,0 +1,1 @@
+test/test_rete.ml: Alcotest Array Build Conflict_set Fixtures Hashtbl List Memory Network Parser Printf Psme_engine Psme_ops5 Psme_rete Psme_support Sym Token Update Value Wm Wme

@@ -1,0 +1,1 @@
+test/test_soar.ml: Agent Alcotest Chunker Defaults Format List Option Parser Prefs Printf Production Psme_ops5 Psme_soar Psme_support Schema String Sym Value Wme

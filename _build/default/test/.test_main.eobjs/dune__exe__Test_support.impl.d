@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Domain Event_queue Fun Histogram List Printf Psme_support Rng Stats Sym Value Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Agent Alcotest Array Cypress Eight_puzzle Fun List Network Parser Printf Production Psme_engine Psme_ops5 Psme_rete Psme_soar Psme_workloads Schema Strips Workload

@@ -1,0 +1,83 @@
+(* Shared helpers for the test suites. *)
+
+open Psme_support
+open Psme_ops5
+open Psme_rete
+
+let blocks_decls =
+  {|
+(literalize block name color on state)
+(literalize hand state name)
+(literalize place name table)
+|}
+
+(* The paper's Figure 2-1 production. *)
+let graspable_src =
+  {|
+(p blue-block-is-graspable
+  (block ^name <x> ^color blue)
+  -(block ^on <x>)
+  (hand ^state free)
+  -->
+  (make place ^name <x>))
+|}
+
+let schema_with ?(decls = blocks_decls) () =
+  let schema = Schema.create () in
+  ignore (Parser.parse_program schema decls);
+  schema
+
+let parse_prods schema src = Parser.productions schema src
+
+(* Build a wme value array for a class from attribute/value pairs. *)
+let fields schema cls pairs =
+  let cls = Sym.intern cls in
+  let arr = Array.make (Schema.arity schema cls) Value.nil in
+  List.iter
+    (fun (attr, v) -> arr.(Schema.field_index schema cls (Sym.intern attr)) <- v)
+    pairs;
+  arr
+
+let add_wme schema wm cls pairs =
+  Wm.add wm ~cls:(Sym.intern cls) ~fields:(fields schema cls pairs)
+
+let sym = Value.sym
+let int = Value.int
+
+(* Serial match of a set of changes against a network. *)
+let match_changes net changes =
+  ignore (Psme_engine.Serial.run_changes net changes)
+
+let add_and_match net wm schema cls pairs =
+  let w = add_wme schema wm cls pairs in
+  match_changes net [ (Task.Add, w) ];
+  w
+
+let remove_and_match net wm w =
+  Wm.remove wm w;
+  match_changes net [ (Task.Delete, w) ]
+
+let cs_names net =
+  List.map
+    (fun i -> Sym.name i.Conflict_set.prod)
+    (Conflict_set.to_list net.Network.cs)
+
+(* A network loaded with the given source text. *)
+let network_of ?(config = Network.default_config) ?(decls = blocks_decls) src =
+  let schema = schema_with ~decls () in
+  let prods = parse_prods schema src in
+  let net = Network.create ~config schema in
+  ignore (Build.add_all net prods);
+  (schema, net)
+
+(* Deterministic rendering of a conflict set for equality checks. *)
+let cs_fingerprint net =
+  Conflict_set.to_list net.Network.cs
+  |> List.map (fun i ->
+         Printf.sprintf "%s:%s" (Sym.name i.Conflict_set.prod)
+           (String.concat ","
+              (Array.to_list
+                 (Array.map
+                    (fun w -> string_of_int w.Wme.timetag)
+                    i.Conflict_set.token.Token.wmes))))
+  |> String.concat ";"

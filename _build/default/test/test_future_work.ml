@@ -1,0 +1,156 @@
+(* Tests of the paper's §7 future-work features, which this repository
+   implements: asynchronous elaboration and automatic low-speedup
+   diagnosis (the bilinear networks are covered in test_rete /
+   test_workloads). *)
+
+open Psme_soar
+open Psme_engine
+open Psme_workloads
+open Psme_harness
+
+let sim procs =
+  Engine.Sim_mode { Sim.procs; queues = Parallel.Multiple_queues; collect_trace = false }
+
+let run_task (w : Workload.t) ~async ~engine_mode =
+  let config =
+    {
+      Agent.default_config with
+      Agent.learning = false;
+      async_elaboration = async;
+      engine_mode;
+    }
+  in
+  let agent = w.Workload.make ~config () in
+  (agent, Agent.run agent)
+
+let test_async_same_outcome () =
+  (* asynchronous firing must not change what the agent decides *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let _, sync = run_task w ~async:false ~engine_mode:Engine.Serial_mode in
+      let _, asyn = run_task w ~async:true ~engine_mode:Engine.Serial_mode in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: same decisions" w.Workload.name)
+        sync.Agent.decisions asyn.Agent.decisions;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: same halt" w.Workload.name)
+        sync.Agent.halted asyn.Agent.halted)
+    [ Eight_puzzle.workload; Strips.workload ]
+
+let test_async_fewer_episodes () =
+  (* an elaboration phase becomes one episode instead of many cycles *)
+  let _, sync = run_task Eight_puzzle.workload ~async:false ~engine_mode:Engine.Serial_mode in
+  let _, asyn = run_task Eight_puzzle.workload ~async:true ~engine_mode:Engine.Serial_mode in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer engine episodes (%d < %d)" asyn.Agent.elab_cycles
+       sync.Agent.elab_cycles)
+    true
+    (asyn.Agent.elab_cycles < sync.Agent.elab_cycles)
+
+let test_async_on_sim () =
+  let _, sync = run_task Eight_puzzle.workload ~async:false ~engine_mode:(sim 8) in
+  let _, asyn = run_task Eight_puzzle.workload ~async:true ~engine_mode:(sim 8) in
+  Alcotest.(check int) "same decisions on the simulator" sync.Agent.decisions
+    asyn.Agent.decisions;
+  Alcotest.(check bool) "both halt" true (sync.Agent.halted && asyn.Agent.halted)
+
+let test_async_goal_test_not_premature () =
+  (* the NCC goal test must still only fire when the goal really holds:
+     a solved run's final state must be the goal configuration *)
+  let agent, asyn = run_task Eight_puzzle.workload ~async:true ~engine_mode:Engine.Serial_mode in
+  Alcotest.(check bool) "halted" true asyn.Agent.halted;
+  Alcotest.(check bool) "and genuinely solved" true (Eight_puzzle.solved agent)
+
+let test_async_harness_rows () =
+  Experiments.clear_cache ();
+  let rows = Experiments.future_async_elaboration () in
+  Alcotest.(check int) "three tasks" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s keeps its outcome under async" r.Experiments.a_task)
+        true r.Experiments.a_same_outcome)
+    rows
+
+let test_diagnose_eight_puzzle () =
+  let d = Diagnose.diagnose ~procs:11 Eight_puzzle.workload in
+  Alcotest.(check bool) "saw cycles" true (d.Diagnose.d_cycles > 50);
+  Alcotest.(check bool) "small cycles detected" true (d.Diagnose.d_small_cycles > 0);
+  Alcotest.(check bool) "recommends async (small cycles dominate)" true
+    d.Diagnose.d_recommend_async;
+  Alcotest.(check bool) "does not recommend bilinear (no deep chains)" false
+    d.Diagnose.d_recommend_bilinear
+
+let test_diagnose_strips_finds_long_chain () =
+  let d = Diagnose.diagnose ~procs:11 Strips.workload in
+  (match d.Diagnose.d_deepest with
+  | (name, depth) :: _ ->
+    Alcotest.(check string) "deepest chain is the monitor" "monitor-strips-state" name;
+    Alcotest.(check bool) "depth > 40" true (depth > 40)
+  | [] -> Alcotest.fail "no chains ranked");
+  Alcotest.(check bool) "recommends bilinear" true d.Diagnose.d_recommend_bilinear
+
+let test_diagnose_apply_improves () =
+  let d = Diagnose.diagnose ~procs:13 Strips.workload in
+  let t = Diagnose.apply_recommendations Strips.workload d in
+  Alcotest.(check bool) "applied something" true (t.Diagnose.t_applied <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive change improves speedup (%.2f -> %.2f)"
+       t.Diagnose.t_before t.Diagnose.t_after)
+    true
+    (t.Diagnose.t_after > t.Diagnose.t_before)
+
+(* --- the §7 I/O module --------------------------------------------------- *)
+
+let test_io_stream_runs () =
+  let params = { Io_stream.default_params with Io_stream.ticks = 10 } in
+  let agent = Io_stream.make_agent ~params () in
+  let s = Agent.run agent in
+  Alcotest.(check int) "ran the requested ticks" 10 s.Agent.decisions;
+  Alcotest.(check bool) "did not stall (input keeps it alive)" false s.Agent.stalled;
+  Alcotest.(check bool) "raised alerts" true (Io_stream.alerts agent > 0)
+
+let test_io_stream_deterministic () =
+  let go () =
+    let agent = Io_stream.make_agent () in
+    ignore (Agent.run agent);
+    Io_stream.alerts agent
+  in
+  Alcotest.(check int) "same seed, same alerts" (go ()) (go ())
+
+let test_io_rate_raises_parallelism () =
+  let speedup rate =
+    let params = { Io_stream.default_params with Io_stream.rate; ticks = 15 } in
+    let config =
+      {
+        Agent.default_config with
+        Agent.engine_mode =
+          Engine.Sim_mode
+            { Sim.procs = 13; queues = Parallel.Multiple_queues; collect_trace = false };
+      }
+    in
+    let agent = Io_stream.make_agent ~config ~params () in
+    let s = Agent.run agent in
+    let ser = List.fold_left (fun a c -> a +. c.Psme_engine.Cycle.serial_us) 0. s.Agent.match_stats in
+    let mk = List.fold_left (fun a c -> a +. c.Psme_engine.Cycle.makespan_us) 0. s.Agent.match_stats in
+    ser /. mk
+  in
+  let slow = speedup 1 and fast = speedup 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "higher input rate, higher speedup (%.2f -> %.2f)" slow fast)
+    true (fast > slow)
+
+let suite =
+  [
+    Alcotest.test_case "async: same outcome" `Slow test_async_same_outcome;
+    Alcotest.test_case "async: fewer episodes" `Quick test_async_fewer_episodes;
+    Alcotest.test_case "async: sim engine" `Quick test_async_on_sim;
+    Alcotest.test_case "async: NCC goal test sound" `Quick test_async_goal_test_not_premature;
+    Alcotest.test_case "async: harness rows" `Slow test_async_harness_rows;
+    Alcotest.test_case "diagnose: eight-puzzle" `Quick test_diagnose_eight_puzzle;
+    Alcotest.test_case "diagnose: strips long chain" `Quick test_diagnose_strips_finds_long_chain;
+    Alcotest.test_case "diagnose: apply improves" `Slow test_diagnose_apply_improves;
+    Alcotest.test_case "io: streaming input runs" `Quick test_io_stream_runs;
+    Alcotest.test_case "io: deterministic" `Quick test_io_stream_deterministic;
+    Alcotest.test_case "io: rate raises parallelism" `Quick test_io_rate_raises_parallelism;
+  ]

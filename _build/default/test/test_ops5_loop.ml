@@ -1,0 +1,294 @@
+(* Tests of the OPS5 recognize-act top level: LEX selection, refraction,
+   remove/modify actions, halting. *)
+
+open Psme_support
+open Psme_ops5
+open Psme_engine
+
+let v = Value.sym
+let i = Value.int
+
+let make_interp src =
+  let schema = Schema.create () in
+  let prods = Parser.productions schema src in
+  (schema, Ops5_loop.create schema prods)
+
+let test_count_to_three () =
+  (* modify-based counting: one production fires repeatedly via recency *)
+  let _, interp =
+    make_interp
+      {|
+(literalize counter value)
+(literalize succ of is)
+(p count-up
+  (counter ^value { <n> < 3 })
+  (succ ^of <n> ^is <m>)
+  -->
+  (modify 1 counter ^value <m>)
+  (write tick <m>))
+(p done
+  (counter ^value 3)
+  -->
+  (write done)
+  (halt))
+|}
+  in
+  List.iter
+    (fun (a, b) ->
+      ignore (Ops5_loop.add_wme interp ~cls:"succ" [ ("of", i a); ("is", i b) ]))
+    [ (0, 1); (1, 2); (2, 3) ];
+  ignore (Ops5_loop.add_wme interp ~cls:"counter" [ ("value", i 0) ]);
+  let reason, fired = Ops5_loop.run interp in
+  Alcotest.(check bool) "halted" true (reason = Ops5_loop.Halted);
+  Alcotest.(check int) "fired 4 productions" 4 fired;
+  Alcotest.(check (list string)) "output"
+    [ "tick 1"; "tick 2"; "tick 3"; "done" ]
+    (Ops5_loop.output interp)
+
+let test_refraction () =
+  (* without refraction this would loop forever *)
+  let _, interp =
+    make_interp
+      {|
+(literalize fact name)
+(p note (fact ^name <n>) --> (write saw <n>))
+|}
+  in
+  ignore (Ops5_loop.add_wme interp ~cls:"fact" [ ("name", v "x") ]);
+  let reason, fired = Ops5_loop.run interp in
+  Alcotest.(check bool) "quiescent" true (reason = Ops5_loop.Quiescent);
+  Alcotest.(check int) "fired once" 1 fired
+
+let test_recency_prefers_new_wmes () =
+  let _, interp =
+    make_interp
+      {|
+(literalize fact name)
+(p note (fact ^name <n>) --> (write saw <n>))
+|}
+  in
+  ignore (Ops5_loop.add_wme interp ~cls:"fact" [ ("name", v "old") ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"fact" [ ("name", v "new") ]);
+  (match Ops5_loop.select interp with
+  | Some inst ->
+    let w = Psme_rete.Token.wme inst.Psme_rete.Conflict_set.token 0 in
+    Alcotest.(check bool) "most recent timetag selected" true
+      (Value.equal (Wme.field w 0) (v "new"))
+  | None -> Alcotest.fail "expected a selectable instantiation");
+  let _, fired = Ops5_loop.run interp in
+  Alcotest.(check int) "both eventually fire" 2 fired;
+  Alcotest.(check (list string)) "newest first" [ "saw new"; "saw old" ]
+    (Ops5_loop.output interp)
+
+let test_specificity_breaks_ties () =
+  (* both productions match the same single wme (same recency); the more
+     specific one must fire first *)
+  let _, interp =
+    make_interp
+      {|
+(literalize fact name kind)
+(p vague (fact ^name <n>) --> (write vague))
+(p specific (fact ^name <n> ^kind good) --> (write specific))
+|}
+  in
+  ignore (Ops5_loop.add_wme interp ~cls:"fact" [ ("name", v "x"); ("kind", v "good") ]);
+  (match Ops5_loop.select interp with
+  | Some inst ->
+    Alcotest.(check string) "specific selected" "specific"
+      (Sym.name inst.Psme_rete.Conflict_set.prod)
+  | None -> Alcotest.fail "expected a selectable instantiation");
+  ignore (Ops5_loop.run interp)
+
+let test_remove_action () =
+  let _, interp =
+    make_interp
+      {|
+(literalize item name)
+(literalize trigger on)
+(p consume
+  (trigger ^on yes)
+  (item ^name <n>)
+  -->
+  (remove 2)
+  (write consumed <n>))
+|}
+  in
+  ignore (Ops5_loop.add_wme interp ~cls:"item" [ ("name", v "i1") ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"item" [ ("name", v "i2") ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"trigger" [ ("on", v "yes") ]);
+  let reason, fired = Ops5_loop.run interp in
+  Alcotest.(check bool) "quiescent after consuming both" true
+    (reason = Ops5_loop.Quiescent);
+  Alcotest.(check int) "two firings" 2 fired;
+  Alcotest.(check int) "wm holds only the trigger" 1 (Wm.size (Ops5_loop.wm interp))
+
+let test_monkey_and_bananas () =
+  (* the classic: climb on the box under the bananas, then grab them *)
+  let _, interp =
+    make_interp
+      {|
+(literalize monkey at on holds)
+(literalize thing name at)
+(p push-box
+  (monkey ^at <p> ^on floor)
+  (thing ^name box ^at { <q> <> <p> })
+  (thing ^name bananas ^at <r>)
+  -->
+  (modify 2 thing ^at <r>)
+  (write pushed box))
+(p walk-to-box
+  (monkey ^at <p> ^on floor)
+  (thing ^name box ^at <r>)
+  (thing ^name bananas ^at <r>)
+  -->
+  (modify 1 monkey ^at <r>)
+  (write walked))
+(p climb
+  (monkey ^at <r> ^on floor)
+  (thing ^name box ^at <r>)
+  (thing ^name bananas ^at <r>)
+  -->
+  (modify 1 monkey ^on box)
+  (write climbed))
+(p grab
+  (monkey ^at <r> ^on box ^holds nil)
+  (thing ^name bananas ^at <r>)
+  -->
+  (modify 1 monkey ^holds bananas)
+  (write got-bananas)
+  (halt))
+|}
+  in
+  ignore
+    (Ops5_loop.add_wme interp ~cls:"monkey"
+       [ ("at", v "door"); ("on", v "floor"); ("holds", Value.nil) ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"thing" [ ("name", v "box"); ("at", v "window") ]);
+  ignore
+    (Ops5_loop.add_wme interp ~cls:"thing" [ ("name", v "bananas"); ("at", v "ceiling") ]);
+  let reason, _ = Ops5_loop.run interp in
+  Alcotest.(check bool) "monkey gets the bananas" true (reason = Ops5_loop.Halted);
+  Alcotest.(check string) "last step" "got-bananas"
+    (List.nth (Ops5_loop.output interp) (List.length (Ops5_loop.output interp) - 1))
+
+let test_runs_on_sim_engine () =
+  let schema = Schema.create () in
+  let prods =
+    Parser.productions schema
+      {|
+(literalize counter value)
+(literalize succ of is)
+(p count-up
+  (counter ^value { <n> < 5 })
+  (succ ^of <n> ^is <m>)
+  -->
+  (modify 1 counter ^value <m>))
+(p done (counter ^value 5) --> (halt))
+|}
+  in
+  let interp =
+    Ops5_loop.create
+      ~engine:
+        (Engine.Sim_mode
+           { Sim.procs = 4; queues = Parallel.Multiple_queues; collect_trace = false })
+      schema prods
+  in
+  for k = 0 to 4 do
+    ignore (Ops5_loop.add_wme interp ~cls:"succ" [ ("of", i k); ("is", i (k + 1)) ])
+  done;
+  ignore (Ops5_loop.add_wme interp ~cls:"counter" [ ("value", i 0) ]);
+  let reason, fired = Ops5_loop.run interp in
+  Alcotest.(check bool) "halts on the sim engine too" true (reason = Ops5_loop.Halted);
+  Alcotest.(check int) "six firings" 6 fired
+
+let test_mea_prefers_first_ce_recency () =
+  (* two wmes match the first CE of a rule; LEX and MEA order by
+     different keys when the rest of the instantiation is more recent *)
+  let src =
+    {|
+(literalize goal-elem name)
+(literalize datum name)
+(p act (goal-elem ^name <g>) (datum ^name <d>) --> (write <g> <d>))
+|}
+  in
+  let make strategy =
+    let schema = Schema.create () in
+    let prods = Parser.productions schema src in
+    let interp = Ops5_loop.create ~strategy schema prods in
+    (* old goal, then datum, then new goal: under LEX the newest tag
+       (new goal) wins; under MEA too — so flip: old goal + new datum vs
+       new goal + old datum *)
+    ignore (Ops5_loop.add_wme interp ~cls:"goal-elem" [ ("name", v "g-old") ]);
+    ignore (Ops5_loop.add_wme interp ~cls:"goal-elem" [ ("name", v "g-new") ]);
+    ignore (Ops5_loop.add_wme interp ~cls:"datum" [ ("name", v "d1") ]);
+    match Ops5_loop.select interp with
+    | Some inst ->
+      let w = Psme_rete.Token.wme inst.Psme_rete.Conflict_set.token 0 in
+      Value.to_string (Wme.field w 0)
+    | None -> "none"
+  in
+  (* both prefer the newer goal element here *)
+  Alcotest.(check string) "lex" "g-new" (make Ops5_loop.Lex);
+  Alcotest.(check string) "mea" "g-new" (make Ops5_loop.Mea);
+  (* now make the datum newer than one goal but not the other: MEA still
+     keys on the goal element *)
+  let make2 strategy =
+    let schema = Schema.create () in
+    let prods = Parser.productions schema src in
+    let interp = Ops5_loop.create ~strategy schema prods in
+    ignore (Ops5_loop.add_wme interp ~cls:"goal-elem" [ ("name", v "g1") ]);
+    ignore (Ops5_loop.add_wme interp ~cls:"datum" [ ("name", v "d-old") ]);
+    ignore (Ops5_loop.add_wme interp ~cls:"datum" [ ("name", v "d-new") ]);
+    ignore (Ops5_loop.add_wme interp ~cls:"goal-elem" [ ("name", v "g2") ]);
+    ignore (Ops5_loop.add_wme interp ~cls:"datum" [ ("name", v "d-mid") ]);
+    (* instantiations: (g2, d-mid tag5)... LEX: highest overall vector;
+       MEA: among first-CE, g2 (tag 4) beats g1 (tag 1); then LEX *)
+    match Ops5_loop.select interp with
+    | Some inst ->
+      let g = Psme_rete.Token.wme inst.Psme_rete.Conflict_set.token 0 in
+      let d = Psme_rete.Token.wme inst.Psme_rete.Conflict_set.token 1 in
+      (Value.to_string (Wme.field g 0), Value.to_string (Wme.field d 0))
+    | None -> ("none", "none")
+  in
+  let lg, ld = make2 Ops5_loop.Lex in
+  let mg, md = make2 Ops5_loop.Mea in
+  Alcotest.(check (pair string string)) "lex picks newest overall" ("g2", "d-mid") (lg, ld);
+  Alcotest.(check (pair string string)) "mea keys on the goal element" ("g2", "d-mid") (mg, md)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_blocks_program_file () =
+  (* the shipped sample program must parse and run: pick up a block and
+     stack it as ordered *)
+  let src = read_file "../programs/blocks.ops5" in
+  let schema = Schema.create () in
+  let prods = Parser.productions schema src in
+  let interp = Ops5_loop.create schema prods in
+  ignore (Ops5_loop.add_wme interp ~cls:"hand" [ ("state", v "free") ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"block"
+            [ ("name", v "b1"); ("color", v "blue"); ("state", v "table") ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"block"
+            [ ("name", v "b2"); ("color", v "red"); ("state", v "table") ]);
+  ignore (Ops5_loop.add_wme interp ~cls:"order" [ ("move", v "b1"); ("onto", v "b2") ]);
+  let reason, _fired = Ops5_loop.run interp in
+  Alcotest.(check bool) "quiescent" true (reason = Ops5_loop.Quiescent);
+  let out = Ops5_loop.output interp in
+  Alcotest.(check bool) "picked up b1" true (List.mem "picked up b1" out);
+  Alcotest.(check bool) "stacked b1 onto b2" true (List.mem "stacked b1 onto b2" out)
+
+let suite =
+  [
+    Alcotest.test_case "count to three (modify)" `Quick test_count_to_three;
+    Alcotest.test_case "refraction" `Quick test_refraction;
+    Alcotest.test_case "recency" `Quick test_recency_prefers_new_wmes;
+    Alcotest.test_case "specificity" `Quick test_specificity_breaks_ties;
+    Alcotest.test_case "remove action" `Quick test_remove_action;
+    Alcotest.test_case "monkey and bananas" `Quick test_monkey_and_bananas;
+    Alcotest.test_case "ops5 on sim engine" `Quick test_runs_on_sim_engine;
+    Alcotest.test_case "MEA strategy" `Quick test_mea_prefers_first_ce_recency;
+    Alcotest.test_case "blocks.ops5 program file" `Quick test_blocks_program_file;
+  ]
