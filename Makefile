@@ -1,0 +1,28 @@
+# Local fallback for the CI gate: `make check` runs exactly what a PR
+# must pass. Formatting is checked only when ocamlformat is installed
+# (the CI format job is advisory too).
+
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build test fmt
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

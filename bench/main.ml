@@ -115,6 +115,21 @@ let bench_alpha =
      let w = Wme.make ~cls ~fields ~timetag:1 in
      Staged.stage (fun () -> ignore (Runtime.seed_wme_change net Task.Add w)))
 
+let bench_trace_emit =
+  (* the per-event cost tracing adds to an engine's hot loop *)
+  Test.make ~name:"obs: tracer emit (ring store)"
+    (let tr = Psme_obs.Trace.create ~capacity:(1 lsl 16) () in
+     let t = ref 0. in
+     Staged.stage (fun () ->
+         t := !t +. 1.;
+         Psme_obs.Trace.emit tr Psme_obs.Trace.Task_end ~t_us:!t ~proc:1 ~node:7
+           ~task:3 ~parent:1 ~dur_us:400. ~scanned:5 ~emitted:2 ()))
+
+let bench_metrics_incr =
+  Test.make ~name:"obs: metrics counter incr (atomic)"
+    (let c = Psme_obs.Metrics.counter Psme_obs.Metrics.global "bench.counter" in
+     Staged.stage (fun () -> Psme_obs.Metrics.incr c))
+
 let run_bechamel () =
   let benchmarks =
     [
@@ -124,6 +139,8 @@ let run_bechamel () =
       bench_token_ops;
       bench_memory_ops;
       bench_alpha;
+      bench_trace_emit;
+      bench_metrics_incr;
     ]
   in
   let instance = Instance.monotonic_clock in

@@ -289,6 +289,154 @@ let diagnose_cmd =
   Cmd.v (Cmd.info "diagnose" ~doc)
     Term.(const diagnose_cmd_impl $ task_arg $ procs_arg $ apply)
 
+(* --- profile --------------------------------------------------------------------- *)
+
+let top_arg =
+  let doc = "Rows to show in each profile table." in
+  Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc =
+    "Emit machine-readable JSON (per-cycle stats and the metrics registry) \
+     instead of tables."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let traced_agent w ~engine_mode ~learning =
+  let tracer = Psme_obs.Trace.create () in
+  let config =
+    { Agent.default_config with Agent.learning; engine_mode; tracer = Some tracer }
+  in
+  let agent = w.Workload.make ~config () in
+  ignore (Agent.run agent);
+  (agent, tracer)
+
+let profile_cmd_impl task procs queues learning top json =
+  setup_logs false;
+  match find_workload task, parse_queues queues with
+  | Error e, _ | _, Error e -> prerr_endline e; 2
+  | Ok w, Ok q ->
+    let engine_mode =
+      Engine.Sim_mode { Sim.procs; queues = q; collect_trace = false }
+    in
+    let agent, tracer = traced_agent w ~engine_mode ~learning in
+    let engine = Agent.engine agent in
+    let net = Agent.network agent in
+    let events = Psme_obs.Trace.events tracer in
+    let prof = Psme_harness.Observe.profile net events in
+    let totals = Engine.totals engine in
+    let cost = (Agent.config agent).Agent.cost in
+    let alpha_us =
+      float_of_int totals.Cycle.alpha_activations *. cost.Cost.alpha_act_us
+    in
+    if json then begin
+      let cycles = Engine.history engine in
+      Format.printf "{\"task\": \"%s\", \"cycles\": [%s], \"metrics\": %s}@."
+        w.Workload.name
+        (String.concat ", " (List.map Cycle.to_json cycles))
+        (Psme_obs.Metrics.to_json (Psme_obs.Metrics.snapshot Psme_obs.Metrics.global));
+      0
+    end
+    else begin
+      if Psme_obs.Trace.dropped tracer > 0 then
+        Format.printf
+          "warning: ring buffer wrapped, %d events dropped — totals are partial@."
+          (Psme_obs.Trace.dropped tracer);
+      Format.printf "task %s on %d simulated processes: %d tasks, %d cycles@.@."
+        w.Workload.name procs totals.Cycle.tasks
+        (List.length (Engine.history engine));
+      Psme_obs.Profile.pp_nodes ~top Format.std_formatter prof;
+      Format.printf "@.";
+      Psme_obs.Profile.pp_prods ~top Format.std_formatter prof;
+      Format.printf "  %-40s %33.0f@." "(alpha pass)" alpha_us;
+      Format.printf "  %-40s %33.0f  (engine serial %.0f us)@.@." "total"
+        (prof.Psme_obs.Profile.total_us +. alpha_us)
+        totals.Cycle.serial_us;
+      let reports = Psme_obs.Critical_path.per_cycle events in
+      Psme_obs.Critical_path.pp ~top:5 Format.std_formatter reports;
+      (match Psme_obs.Critical_path.longest reports with
+      | Some r ->
+        let owners =
+          Psme_harness.Observe.node_prods net r.Psme_obs.Critical_path.cp_head_node
+        in
+        Format.printf "worst chain ends at %s%s@.@."
+          (Psme_harness.Observe.node_name net r.Psme_obs.Critical_path.cp_head_node)
+          (match owners with [] -> "" | o :: _ -> Printf.sprintf " (production %s)" o)
+      | None -> ());
+      Format.printf "metrics registry:@.";
+      Psme_obs.Metrics.pp Format.std_formatter
+        (Psme_obs.Metrics.snapshot Psme_obs.Metrics.global);
+      0
+    end
+
+let profile_cmd =
+  let doc =
+    "Run a task on the traced simulator and print the per-node and \
+     per-production match profile, the critical-path report and the metrics \
+     registry."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const profile_cmd_impl $ task_arg $ procs_arg $ queues_arg $ learning_arg
+      $ top_arg $ json_arg)
+
+(* --- trace ----------------------------------------------------------------------- *)
+
+let trace_out_arg =
+  let doc = "Write the Chrome trace-event JSON to $(docv)." in
+  Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+
+let trace_engine_arg =
+  let doc = "Match engine to trace: serial, sim or parallel." in
+  Arg.(value & opt string "sim" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let trace_cmd_impl task engine procs queues learning async out =
+  setup_logs false;
+  match find_workload task, parse_engine engine procs queues with
+  | Error e, _ | _, Error e -> prerr_endline e; 2
+  | Ok w, Ok engine_mode -> (
+    (* open the output before the (possibly long) run, so a bad path
+       fails in milliseconds instead of after the whole simulation *)
+    match open_out out with
+    | exception Sys_error msg ->
+      prerr_endline ("cannot write trace: " ^ msg);
+      2
+    | oc ->
+    let tracer = Psme_obs.Trace.create () in
+    let config =
+      {
+        Agent.default_config with
+        Agent.learning;
+        engine_mode;
+        async_elaboration = async;
+        tracer = Some tracer;
+      }
+    in
+    let agent = w.Workload.make ~config () in
+    ignore (Agent.run agent);
+    let net = Agent.network agent in
+    let events = Psme_obs.Trace.events tracer in
+    let buf = Buffer.create (256 * Array.length events) in
+    Psme_harness.Observe.chrome_trace net buf events;
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Format.printf "wrote %s: %d events (%d dropped), %d match-process lanes@."
+      out (Array.length events)
+      (Psme_obs.Trace.dropped tracer)
+      (List.length (Psme_obs.Chrome_trace.lanes events));
+    Format.printf "open it at ui.perfetto.dev or chrome://tracing@.";
+    0)
+
+let trace_cmd =
+  let doc =
+    "Run a task with the structured event tracer and export the timeline as \
+     Chrome trace-event JSON (one lane per virtual match process)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace_cmd_impl $ task_arg $ trace_engine_arg $ procs_arg $ queues_arg
+      $ learning_arg $ async_arg $ trace_out_arg)
+
 (* --- parse ----------------------------------------------------------------------- *)
 
 let parse_cmd_impl file =
@@ -326,6 +474,9 @@ let parse_cmd =
 let main =
   let doc = "Soar/PSM-E: a learning production system on a parallel matcher" in
   Cmd.group (Cmd.info "soar_cli" ~doc)
-    [ run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; dump_cmd; parse_cmd ]
+    [
+      run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; profile_cmd;
+      trace_cmd; dump_cmd; parse_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -45,3 +45,22 @@ let pp ppf s =
   Format.fprintf ppf
     "tasks=%d serial=%.0fus makespan=%.0fus speedup=%.2f spins=%.0f failed_pops=%d"
     s.tasks s.serial_us s.makespan_us (speedup s) s.queue_spins s.failed_pops
+
+(* Field names are part of the output contract (pinned by a unit test):
+   tools parse `soar_cli profile` output with them. *)
+let to_json s =
+  Psme_obs.Json.(
+    to_string
+      (Obj
+         [
+           ("tasks", Int s.tasks);
+           ("alpha_activations", Int s.alpha_activations);
+           ("serial_us", Float s.serial_us);
+           ("makespan_us", Float s.makespan_us);
+           ("queue_spins", Float s.queue_spins);
+           ("failed_pops", Int s.failed_pops);
+           ("scanned", Int s.scanned);
+           ("emitted", Int s.emitted);
+           ("wall_ns", Int s.wall_ns);
+           ("speedup", Float (speedup s));
+         ]))

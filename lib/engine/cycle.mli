@@ -23,3 +23,9 @@ val add : stats -> stats -> stats
 (** Aggregate two cycles (traces are dropped). *)
 
 val pp : Format.formatter -> stats -> unit
+
+val to_json : stats -> string
+(** One JSON object; the field names ([tasks], [alpha_activations],
+    [serial_us], [makespan_us], [queue_spins], [failed_pops], [scanned],
+    [emitted], [wall_ns], [speedup]) are a stable contract pinned by a
+    unit test — [soar_cli profile --json] consumers rely on them. *)

@@ -1,3 +1,4 @@
+open Psme_obs
 open Psme_rete
 
 type mode =
@@ -9,67 +10,107 @@ type t = {
   net : Network.t;
   mode : mode;
   cost : Cost.params;
+  tracer : Trace.t option;
+  mutable vclock_us : float;
+      (* running virtual time: cycles abut on one global timeline *)
   mutable history_rev : Cycle.stats list;
 }
 
-let create ?(cost = Cost.default) mode net = { net; mode; cost; history_rev = [] }
+let create ?(cost = Cost.default) ?tracer mode net =
+  { net; mode; cost; tracer; vclock_us = 0.; history_rev = [] }
+
 let network t = t.net
 let mode t = t.mode
+let tracer t = t.tracer
+let vclock_us t = t.vclock_us
+
+(* Every completed episode feeds the global metrics registry, whatever
+   the engine — per-cycle aggregates become queryable totals. *)
+let m_cycles = Metrics.counter Metrics.global "engine.cycles"
+let m_tasks = Metrics.counter Metrics.global "engine.tasks"
+let m_failed_pops = Metrics.counter Metrics.global "engine.failed_pops"
+let m_scanned = Metrics.counter Metrics.global "engine.scanned"
+let m_emitted = Metrics.counter Metrics.global "engine.emitted"
 
 let record t stats =
   t.history_rev <- stats :: t.history_rev;
+  Metrics.incr m_cycles;
+  Metrics.add m_tasks stats.Cycle.tasks;
+  Metrics.add m_failed_pops stats.Cycle.failed_pops;
+  Metrics.add m_scanned stats.Cycle.scanned;
+  Metrics.add m_emitted stats.Cycle.emitted;
+  Metrics.observe Metrics.global "engine.cycle.serial_us" stats.Cycle.serial_us;
+  Metrics.observe Metrics.global "engine.cycle.makespan_us" stats.Cycle.makespan_us;
+  if stats.Cycle.tasks > 0 then
+    Metrics.observe Metrics.global "engine.cycle.speedup" (Cycle.speedup stats);
   stats
 
-let run_changes t changes =
+(* Run one episode with cycle bracketing on the tracer: the engines emit
+   cycle-local times; the tracer's base places them on the global
+   timeline, which then advances by the episode's makespan. *)
+let with_cycle t run =
   Memory.reset_cycle_stats t.net.Network.mem;
-  let stats =
-    match t.mode with
-    | Serial_mode -> Serial.run_changes ~cost:t.cost t.net changes
-    | Parallel_mode cfg -> Parallel.run_changes ~cost:t.cost cfg t.net changes
-    | Sim_mode cfg -> Sim.run_changes ~cost:t.cost cfg t.net changes
-  in
+  (match t.tracer with
+  | Some tr ->
+    Trace.set_cycle tr (List.length t.history_rev);
+    Trace.set_base tr t.vclock_us;
+    Trace.emit tr Trace.Cycle_begin ~t_us:0. ()
+  | None -> ());
+  let stats = run () in
+  (match t.tracer with
+  | Some tr ->
+    Trace.emit tr Trace.Cycle_end ~t_us:stats.Cycle.makespan_us
+      ~dur_us:stats.Cycle.makespan_us ~scanned:stats.Cycle.tasks ();
+    t.vclock_us <- t.vclock_us +. stats.Cycle.makespan_us;
+    Trace.set_base tr t.vclock_us
+  | None -> ());
   record t stats
+
+let run_changes t changes =
+  with_cycle t (fun () ->
+      match t.mode with
+      | Serial_mode -> Serial.run_changes ~cost:t.cost ?tracer:t.tracer t.net changes
+      | Parallel_mode cfg ->
+        Parallel.run_changes ~cost:t.cost ?tracer:t.tracer cfg t.net changes
+      | Sim_mode cfg -> Sim.run_changes ~cost:t.cost ?tracer:t.tracer cfg t.net changes)
 
 let run_tasks t tasks =
-  Memory.reset_cycle_stats t.net.Network.mem;
-  let stats =
-    match t.mode with
-    | Serial_mode -> Serial.run_tasks ~cost:t.cost t.net tasks
-    | Parallel_mode cfg -> Parallel.run_tasks ~cost:t.cost cfg t.net tasks
-    | Sim_mode cfg -> Sim.run_tasks ~cost:t.cost cfg t.net tasks
-  in
-  record t stats
+  with_cycle t (fun () ->
+      match t.mode with
+      | Serial_mode -> Serial.run_tasks ~cost:t.cost ?tracer:t.tracer t.net tasks
+      | Parallel_mode cfg ->
+        Parallel.run_tasks ~cost:t.cost ?tracer:t.tracer cfg t.net tasks
+      | Sim_mode cfg -> Sim.run_tasks ~cost:t.cost ?tracer:t.tracer cfg t.net tasks)
 
 let run_changes_async t ~on_inst changes =
-  Memory.reset_cycle_stats t.net.Network.mem;
-  let stats =
-    match t.mode with
-    | Serial_mode -> Serial.run_changes_async ~cost:t.cost t.net ~on_inst changes
-    | Sim_mode cfg -> Sim.run_changes_async ~cost:t.cost cfg t.net ~on_inst changes
-    | Parallel_mode cfg ->
-      (* fall back to barrier-synchronized waves so the callback never
-         runs concurrently with itself *)
-      let total = ref Cycle.empty in
-      let pending = ref changes in
-      let continue_ = ref true in
-      while !continue_ do
-        let batch = !pending in
-        pending := [];
-        let insts_before = Conflict_set.pending t.net.Network.cs in
-        if batch = [] && insts_before = [] then continue_ := false
-        else begin
-          let s = Parallel.run_changes ~cost:t.cost cfg t.net batch in
-          total := Cycle.add !total s;
-          List.iter
-            (fun inst ->
-              Conflict_set.mark_fired t.net.Network.cs inst;
-              pending := !pending @ on_inst inst)
-            (Conflict_set.pending t.net.Network.cs)
-        end
-      done;
-      !total
-  in
-  record t stats
+  with_cycle t (fun () ->
+      match t.mode with
+      | Serial_mode ->
+        Serial.run_changes_async ~cost:t.cost ?tracer:t.tracer t.net ~on_inst changes
+      | Sim_mode cfg ->
+        Sim.run_changes_async ~cost:t.cost ?tracer:t.tracer cfg t.net ~on_inst changes
+      | Parallel_mode cfg ->
+        (* fall back to barrier-synchronized waves so the callback never
+           runs concurrently with itself *)
+        let total = ref Cycle.empty in
+        let pending = ref changes in
+        let continue_ = ref true in
+        while !continue_ do
+          let batch = !pending in
+          pending := [];
+          let insts_before = Conflict_set.pending t.net.Network.cs in
+          if batch = [] && insts_before = [] then continue_ := false
+          else begin
+            let s = Parallel.run_changes ~cost:t.cost ?tracer:t.tracer cfg t.net batch in
+            total := Cycle.add !total s;
+            List.iter
+              (fun inst ->
+                Conflict_set.mark_fired t.net.Network.cs inst;
+                pending := !pending @ on_inst inst)
+              (Conflict_set.pending t.net.Network.cs)
+          end
+        done;
+        !total)
 
 let history t = List.rev t.history_rev
 let reset_history t = t.history_rev <- []

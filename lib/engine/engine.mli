@@ -14,9 +14,21 @@ type mode =
 
 type t
 
-val create : ?cost:Cost.params -> mode -> Network.t -> t
+val create : ?cost:Cost.params -> ?tracer:Psme_obs.Trace.t -> mode -> Network.t -> t
+(** With [tracer], every episode is bracketed by cycle begin/end events
+    and the underlying engine emits its task/queue/lock events; the
+    engine keeps a running virtual clock so consecutive cycles abut on
+    one global timeline (the tracer's base is advanced by each cycle's
+    makespan). All engines also feed the global {!Psme_obs.Metrics}
+    registry (counters [engine.cycles], [engine.tasks], ...; gauges
+    [engine.cycle.serial_us], [engine.cycle.makespan_us],
+    [engine.cycle.speedup]). *)
+
 val network : t -> Network.t
 val mode : t -> mode
+val tracer : t -> Psme_obs.Trace.t option
+val vclock_us : t -> float
+(** Virtual time consumed by all recorded episodes so far. *)
 
 val run_changes : t -> (Task.flag * Psme_ops5.Wme.t) list -> Cycle.stats
 (** Run one buffered set of wme changes to quiescence; records the cycle

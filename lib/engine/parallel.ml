@@ -1,4 +1,5 @@
 open Psme_support
+open Psme_obs
 open Psme_rete
 
 type queue_mode =
@@ -10,9 +11,12 @@ type config = {
   queues : queue_mode;
 }
 
+(* Queue items carry (id, parent, task) for the tracer's spawn DAG; ids
+   come from one atomic counter, so a parent's id is below its
+   children's. *)
 type queue = {
   lock : Mutex.t;
-  items : Task.t Vec.t;
+  items : (int * int * Task.t) Vec.t;
 }
 
 let make_queue () = { lock = Mutex.create (); items = Vec.create () }
@@ -25,11 +29,12 @@ let try_pop q =
   end
   else None
 
-let push q task =
-  Mutex.protect q.lock (fun () -> Vec.push q.items task)
+let push q item =
+  Mutex.protect q.lock (fun () -> Vec.push q.items item)
 
-let run_tasks ?(cost = Cost.default) config net seed =
+let run_tasks ?(cost = Cost.default) ?tracer config net seed =
   let t0 = Clock.now_ns () in
+  let now_us () = float_of_int (Clock.now_ns () - t0) /. 1e3 in
   let nq = match config.queues with Single_queue -> 1 | Multiple_queues -> config.processes in
   let queues = Array.init nq (fun _ -> make_queue ()) in
   (* outstanding = queued + currently executing; the cycle ends at 0. *)
@@ -40,32 +45,58 @@ let run_tasks ?(cost = Cost.default) config net seed =
   let failed_pops = Atomic.make 0 in
   let serial_us_bits = Atomic.make 0 in
   (* accumulate µs as integer tenths to stay atomic *)
+  let next_id = Atomic.make 0 in
   List.iteri
     (fun i task ->
       Atomic.incr outstanding;
-      push queues.(i mod nq) task)
+      let id = Atomic.fetch_and_add next_id 1 in
+      push queues.(i mod nq) (id, -1, task);
+      match tracer with
+      | Some tr ->
+        Trace.emit tr Trace.Queue_push ~t_us:(now_us ()) ~proc:(-1)
+          ~node:(Task.node task) ~task:id ()
+      | None -> ())
     seed;
   let worker me () =
     let my_q = me mod nq in
     let rec loop () =
       if Atomic.get outstanding = 0 then ()
       else begin
-        let task =
+        let item =
           let rec scan k =
             if k >= nq then None
             else
               match try_pop queues.((my_q + k) mod nq) with
-              | Some t -> Some t
+              | Some (id, parent, task) ->
+                (match tracer with
+                | Some tr ->
+                  Trace.emit tr
+                    (if k = 0 then Trace.Queue_pop else Trace.Queue_steal)
+                    ~t_us:(now_us ()) ~proc:me ~task:id ()
+                | None -> ());
+                Some (id, parent, task)
               | None ->
                 Atomic.incr failed_pops;
+                (match tracer with
+                | Some tr ->
+                  Trace.emit tr Trace.Queue_failed_pop ~t_us:(now_us ())
+                    ~proc:me ()
+                | None -> ());
                 scan (k + 1)
           in
           scan 0
         in
-        (match task with
+        (match item with
         | None -> Domain.cpu_relax ()
-        | Some task ->
-          let kind = (Network.node net (Task.node task)).Network.kind in
+        | Some (id, parent, task) ->
+          let node = Task.node task in
+          let kind = (Network.node net node).Network.kind in
+          let start_us = now_us () in
+          (match tracer with
+          | Some tr ->
+            Trace.emit tr Trace.Task_start ~t_us:start_us ~proc:me ~node
+              ~task:id ~parent ()
+          | None -> ());
           let o = Runtime.exec net task in
           Atomic.incr tasks_done;
           ignore (Atomic.fetch_and_add scanned o.Runtime.scanned);
@@ -76,7 +107,25 @@ let run_tasks ?(cost = Cost.default) config net seed =
             (Atomic.fetch_and_add serial_us_bits
                (int_of_float (10. *. Cost.task_cost cost kind o)));
           ignore (Atomic.fetch_and_add outstanding nkids);
-          List.iter (push queues.(my_q)) kids;
+          (match tracer with
+          | Some tr ->
+            let end_us = now_us () in
+            (* real engine: the span is the measured wall time *)
+            Trace.emit tr Trace.Task_end ~t_us:end_us ~proc:me ~node ~task:id
+              ~parent
+              ~dur_us:(Float.max 0.001 (end_us -. start_us))
+              ~scanned:o.Runtime.scanned ~emitted:nkids ()
+          | None -> ());
+          List.iter
+            (fun k ->
+              let kid = Atomic.fetch_and_add next_id 1 in
+              push queues.(my_q) (kid, id, k);
+              match tracer with
+              | Some tr ->
+                Trace.emit tr Trace.Queue_push ~t_us:(now_us ()) ~proc:me
+                  ~node:(Task.node k) ~task:kid ~parent:id ()
+              | None -> ())
+            kids;
           Atomic.decr outstanding);
         loop ()
       end
@@ -99,7 +148,7 @@ let run_tasks ?(cost = Cost.default) config net seed =
     wall_ns;
   }
 
-let run_changes ?(cost = Cost.default) config net changes =
+let run_changes ?(cost = Cost.default) ?tracer config net changes =
   let alpha = ref 0 in
   let seed =
     List.concat_map
@@ -109,5 +158,5 @@ let run_changes ?(cost = Cost.default) config net changes =
         tasks)
       changes
   in
-  let stats = run_tasks ~cost config net seed in
+  let stats = run_tasks ~cost ?tracer config net seed in
   { stats with Cycle.alpha_activations = !alpha }

@@ -22,9 +22,20 @@ type config = {
   queues : queue_mode;
 }
 
-val run_tasks : ?cost:Cost.params -> config -> Network.t -> Task.t list -> Cycle.stats
+val run_tasks :
+  ?cost:Cost.params ->
+  ?tracer:Psme_obs.Trace.t ->
+  config ->
+  Network.t ->
+  Task.t list ->
+  Cycle.stats
+(** With [tracer], workers emit task start/end (wall-clock spans) and
+    queue pop/steal/failed-pop events; the tracer's internal mutex
+    serializes emission across domains. *)
+
 val run_changes :
   ?cost:Cost.params ->
+  ?tracer:Psme_obs.Trace.t ->
   config ->
   Network.t ->
   (Task.flag * Psme_ops5.Wme.t) list ->

@@ -1,10 +1,22 @@
 open Psme_support
+open Psme_obs
 open Psme_rete
 
-let run_tasks ?(cost = Cost.default) net seed =
+(* Tasks are carried as (id, parent, task) so the tracer's event stream
+   names the spawn DAG; ids are assigned at spawn, so a parent's id is
+   always smaller than its children's (the critical-path analyzer's
+   invariant). Tracing off costs one branch per task. *)
+
+let run_tasks ?(cost = Cost.default) ?tracer net seed =
   let t0 = Clock.now_ns () in
   let stack = Vec.create () in
-  List.iter (Vec.push stack) seed;
+  let next_id = ref 0 in
+  let fresh () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
+  List.iter (fun task -> Vec.push stack (fresh (), -1, task)) seed;
   let tasks = ref 0 in
   let serial_us = ref 0. in
   let scanned = ref 0 in
@@ -12,14 +24,28 @@ let run_tasks ?(cost = Cost.default) net seed =
   let rec drain () =
     match Vec.pop stack with
     | None -> ()
-    | Some task ->
-      let kind = (Network.node net (Task.node task)).Network.kind in
+    | Some (id, parent, task) ->
+      let node = Task.node task in
+      let kind = (Network.node net node).Network.kind in
+      (match tracer with
+      | Some tr ->
+        Trace.emit tr Trace.Task_start ~t_us:!serial_us ~proc:0 ~node ~task:id
+          ~parent ()
+      | None -> ());
       let o = Runtime.exec net task in
       incr tasks;
-      serial_us := !serial_us +. Cost.task_cost cost kind o;
+      let c = Cost.task_cost cost kind o in
+      let nkids = List.length o.Runtime.children in
+      (match tracer with
+      | Some tr ->
+        Trace.emit tr Trace.Task_end ~t_us:(!serial_us +. c) ~proc:0 ~node
+          ~task:id ~parent ~dur_us:c ~scanned:o.Runtime.scanned ~emitted:nkids
+          ()
+      | None -> ());
+      serial_us := !serial_us +. c;
       scanned := !scanned + o.Runtime.scanned;
-      emitted := !emitted + List.length o.Runtime.children;
-      List.iter (Vec.push stack) o.Runtime.children;
+      emitted := !emitted + nkids;
+      List.iter (fun k -> Vec.push stack (fresh (), id, k)) o.Runtime.children;
       drain ()
   in
   drain ();
@@ -33,16 +59,22 @@ let run_tasks ?(cost = Cost.default) net seed =
     wall_ns = Clock.now_ns () - t0;
   }
 
-let run_changes_async ?(cost = Cost.default) net ~on_inst changes =
+let run_changes_async ?(cost = Cost.default) ?tracer net ~on_inst changes =
   let t0 = Clock.now_ns () in
   let alpha = ref 0 in
   let stack = Vec.create () in
-  let seed flag w =
+  let next_id = ref 0 in
+  let fresh () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
+  let seed ~parent flag w =
     let tasks, acts = Runtime.seed_wme_change net flag w in
     alpha := !alpha + acts;
-    List.iter (Vec.push stack) tasks
+    List.iter (fun t -> Vec.push stack (fresh (), parent, t)) tasks
   in
-  List.iter (fun (flag, w) -> seed flag w) changes;
+  List.iter (fun (flag, w) -> seed ~parent:(-1) flag w) changes;
   let tasks = ref 0 in
   let serial_us = ref 0. in
   let scanned = ref 0 in
@@ -50,20 +82,35 @@ let run_changes_async ?(cost = Cost.default) net ~on_inst changes =
   let rec drain () =
     match Vec.pop stack with
     | None -> ()
-    | Some task ->
-      let kind = (Network.node net (Task.node task)).Network.kind in
+    | Some (id, parent, task) ->
+      let node = Task.node task in
+      let kind = (Network.node net node).Network.kind in
+      (match tracer with
+      | Some tr ->
+        Trace.emit tr Trace.Task_start ~t_us:!serial_us ~proc:0 ~node ~task:id
+          ~parent ()
+      | None -> ());
       let o = Runtime.exec net task in
       incr tasks;
-      serial_us := !serial_us +. Cost.task_cost cost kind o;
+      let c = Cost.task_cost cost kind o in
+      let nkids = List.length o.Runtime.children in
+      (match tracer with
+      | Some tr ->
+        Trace.emit tr Trace.Task_end ~t_us:(!serial_us +. c) ~proc:0 ~node
+          ~task:id ~parent ~dur_us:c ~scanned:o.Runtime.scanned ~emitted:nkids
+          ()
+      | None -> ());
+      serial_us := !serial_us +. c;
       scanned := !scanned + o.Runtime.scanned;
-      emitted := !emitted + List.length o.Runtime.children;
-      List.iter (Vec.push stack) o.Runtime.children;
+      emitted := !emitted + nkids;
+      List.iter (fun k -> Vec.push stack (fresh (), id, k)) o.Runtime.children;
       List.iter
         (fun (flag, inst) ->
           match flag with
           | Task.Add ->
             serial_us := !serial_us +. cost.Cost.fire_us;
-            List.iter (fun (f, w) -> seed f w) (on_inst inst)
+            (* wme changes of the firing chain through the P-node task *)
+            List.iter (fun (f, w) -> seed ~parent:id f w) (on_inst inst)
           | Task.Delete -> ())
         o.Runtime.insts;
       drain ()
@@ -81,7 +128,7 @@ let run_changes_async ?(cost = Cost.default) net ~on_inst changes =
     wall_ns = Clock.now_ns () - t0;
   }
 
-let run_changes ?(cost = Cost.default) net changes =
+let run_changes ?(cost = Cost.default) ?tracer net changes =
   let alpha = ref 0 in
   let seed =
     List.concat_map
@@ -91,7 +138,7 @@ let run_changes ?(cost = Cost.default) net changes =
         tasks)
       changes
   in
-  let stats = run_tasks ~cost net seed in
+  let stats = run_tasks ~cost ?tracer net seed in
   let alpha_us = cost.Cost.alpha_act_us *. float_of_int !alpha in
   {
     stats with

@@ -6,12 +6,20 @@
 
 open Psme_rete
 
-val run_tasks : ?cost:Cost.params -> Network.t -> Task.t list -> Cycle.stats
+val run_tasks :
+  ?cost:Cost.params ->
+  ?tracer:Psme_obs.Trace.t ->
+  Network.t ->
+  Task.t list ->
+  Cycle.stats
 (** Process the given activations and everything they generate, LIFO,
-    until quiescent. *)
+    until quiescent. With [tracer], emits task start/end events on
+    virtual processor 0 at cost-model virtual times, carrying the
+    spawn DAG (task and parent serial numbers). *)
 
 val run_changes :
   ?cost:Cost.params ->
+  ?tracer:Psme_obs.Trace.t ->
   Network.t ->
   (Task.flag * Psme_ops5.Wme.t) list ->
   Cycle.stats
@@ -21,6 +29,7 @@ val run_changes :
 
 val run_changes_async :
   ?cost:Cost.params ->
+  ?tracer:Psme_obs.Trace.t ->
   Network.t ->
   on_inst:(Conflict_set.inst -> (Task.flag * Psme_ops5.Wme.t) list) ->
   (Task.flag * Psme_ops5.Wme.t) list ->

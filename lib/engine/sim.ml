@@ -1,4 +1,5 @@
 open Psme_support
+open Psme_obs
 open Psme_rete
 
 type config = {
@@ -7,19 +8,22 @@ type config = {
   collect_trace : bool;
 }
 
+(* Queue items carry (id, parent, task): serial numbers are assigned at
+   spawn time, so a parent's id is always below its children's — the
+   invariant the critical-path analyzer relies on. *)
 type squeue = {
-  items : Task.t Vec.t;
+  items : (int * int * Task.t) Vec.t;
   mutable busy_until : float;
 }
 
 type event =
   | Try_pop of int  (** processor becomes ready to look for work *)
-  | Finish of { proc : int; children : Task.t list }
-  | Inject of { proc : int; tasks : Task.t list }
+  | Finish of { proc : int; parent : int; children : Task.t list }
+  | Inject of { proc : int; parent : int; tasks : Task.t list }
       (** the control process delivers the wme changes of a fired
           instantiation (asynchronous elaboration, §7) *)
 
-let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
+let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
   let t0 = Clock.now_ns () in
   let nq =
     match config.queues with
@@ -27,11 +31,24 @@ let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
     | Parallel.Multiple_queues -> max 1 config.procs
   in
   let queues = Array.init nq (fun _ -> { items = Vec.create (); busy_until = 0. }) in
+  let next_id = ref 0 in
+  let fresh () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
   let outstanding = ref 0 in
   List.iteri
     (fun i task ->
       incr outstanding;
-      Vec.push queues.(i mod nq).items task)
+      let id = fresh () in
+      Vec.push queues.(i mod nq).items (id, -1, task);
+      match tracer with
+      | Some tr ->
+        (* seeds are placed by the control process before time starts *)
+        Trace.emit tr Trace.Queue_push ~t_us:0. ~proc:(-1)
+          ~node:(Task.node task) ~task:id ()
+      | None -> ())
     seed;
   let events = Event_queue.create () in
   for p = 0 to config.procs - 1 do
@@ -54,40 +71,51 @@ let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
   (* Exclusive access to a queue: wait until it is free, charge the
      wait as lock spins, occupy it for one operation. Returns the time
      at which the operation completes. *)
-  let queue_access q ~at =
+  let queue_access q ~proc ~at =
     let start = Float.max at q.busy_until in
-    spins := !spins +. ((start -. at) /. cost.Cost.spin_unit_us);
+    (if start > at then begin
+       spins := !spins +. ((start -. at) /. cost.Cost.spin_unit_us);
+       match tracer with
+       | Some tr ->
+         Trace.emit tr Trace.Lock_wait ~t_us:start ~proc ~dur_us:(start -. at) ()
+       | None -> ()
+     end);
     q.busy_until <- start +. cost.Cost.queue_op_us;
     q.busy_until
   in
   let my_queue p = p mod nq in
+  (* Push one spawned task, charging a queue operation. *)
+  let push_child q ~proc ~parent ~at task =
+    let t = queue_access q ~proc ~at in
+    let id = fresh () in
+    Vec.push q.items (id, parent, task);
+    incr outstanding;
+    (match tracer with
+    | Some tr ->
+      Trace.emit tr Trace.Queue_push ~t_us:t ~proc ~node:(Task.node task)
+        ~task:id ~parent ()
+    | None -> ());
+    t
+  in
   let handle time = function
-    | Inject { proc; tasks } ->
+    | Inject { proc; parent; tasks } ->
       let q = queues.(my_queue proc) in
       let t =
         List.fold_left
-          (fun t task ->
-            let t = queue_access q ~at:t in
-            Vec.push q.items task;
-            incr outstanding;
-            t)
+          (fun t task -> push_child q ~proc:(-1) ~parent ~at:t task)
           time tasks
       in
       decr pending_injections;
       sample t;
       makespan := Float.max !makespan t
-    | Finish { proc; children } ->
+    | Finish { proc; parent; children } ->
       (* Push the generated tasks onto this process's queue, one queue
          operation each, then account for the finished task and go look
          for more work. *)
       let q = queues.(my_queue proc) in
       let t =
         List.fold_left
-          (fun t task ->
-            let t = queue_access q ~at:t in
-            Vec.push q.items task;
-            incr outstanding;
-            t)
+          (fun t task -> push_child q ~proc ~parent ~at:t task)
           time children
       in
       decr outstanding;
@@ -105,19 +133,39 @@ let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
           end
           else begin
             let q = queues.((my_queue proc + k) mod nq) in
-            let t = queue_access q ~at:t in
+            let t = queue_access q ~proc ~at:t in
             match Vec.pop q.items with
             | None ->
               incr failed_pops;
+              (match tracer with
+              | Some tr ->
+                Trace.emit tr Trace.Queue_failed_pop ~t_us:t ~proc ()
+              | None -> ());
               scan (k + 1) t
-            | Some task ->
-              let kind = (Network.node net (Task.node task)).Network.kind in
+            | Some (id, parent, task) ->
+              let node = Task.node task in
+              let kind = (Network.node net node).Network.kind in
+              (match tracer with
+              | Some tr ->
+                Trace.emit tr
+                  (if k = 0 then Trace.Queue_pop else Trace.Queue_steal)
+                  ~t_us:t ~proc ~task:id ();
+                Trace.emit tr Trace.Task_start ~t_us:t ~proc ~node ~task:id
+                  ~parent ()
+              | None -> ());
               let o = Runtime.exec net task in
               incr tasks_done;
               scanned := !scanned + o.Runtime.scanned;
-              emitted := !emitted + List.length o.Runtime.children;
+              let nkids = List.length o.Runtime.children in
+              emitted := !emitted + nkids;
               let c = Cost.task_cost cost kind o in
               serial_us := !serial_us +. c;
+              (match tracer with
+              | Some tr ->
+                Trace.emit tr Trace.Task_end ~t_us:(t +. c) ~proc ~node
+                  ~task:id ~parent ~dur_us:c ~scanned:o.Runtime.scanned
+                  ~emitted:nkids ()
+              | None -> ());
               (* asynchronous elaboration: fire newly added
                  instantiations now; their wme changes are injected by
                  the control process after the firing cost *)
@@ -142,13 +190,13 @@ let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
                         incr pending_injections;
                         Event_queue.add events
                           ~time:(t +. c +. cost.Cost.fire_us)
-                          (Inject { proc; tasks = injected })
+                          (Inject { proc; parent = id; tasks = injected })
                       end
                     | Task.Delete -> ())
                   o.Runtime.insts);
               sample t;
               Event_queue.add events ~time:(t +. c)
-                (Finish { proc; children = o.Runtime.children })
+                (Finish { proc; parent = id; children = o.Runtime.children })
           end
         in
         scan 0 time
@@ -177,7 +225,8 @@ let run_tasks_gen ?(cost = Cost.default) ?on_inst config net seed =
     trace = Vec.to_array trace;
   }
 
-let run_tasks ?cost config net seed = run_tasks_gen ?cost ?on_inst:None config net seed
+let run_tasks ?cost ?tracer config net seed =
+  run_tasks_gen ?cost ?tracer ?on_inst:None config net seed
 
 let seed_all net changes =
   let alpha = ref 0 in
@@ -204,10 +253,10 @@ let finish_stats cost stats extra_alpha =
     makespan_us = stats.Cycle.makespan_us +. alpha_us;
   }
 
-let run_changes ?(cost = Cost.default) config net changes =
+let run_changes ?(cost = Cost.default) ?tracer config net changes =
   let seed, alpha = seed_all net changes in
-  finish_stats cost (run_tasks ~cost config net seed) alpha
+  finish_stats cost (run_tasks ~cost ?tracer config net seed) alpha
 
-let run_changes_async ?(cost = Cost.default) config net ~on_inst changes =
+let run_changes_async ?(cost = Cost.default) ?tracer config net ~on_inst changes =
   let seed, alpha = seed_all net changes in
-  finish_stats cost (run_tasks_gen ~cost ~on_inst config net seed) alpha
+  finish_stats cost (run_tasks_gen ~cost ?tracer ~on_inst config net seed) alpha

@@ -1,3 +1,4 @@
+open Psme_obs
 open Psme_rete
 open Psme_engine
 open Psme_soar
@@ -11,6 +12,9 @@ type diagnosis = {
   d_long_tail_cycles : int;
   d_avg_tail_ratio : float;
   d_deepest : (string * int) list;
+  d_cp_ratio : float;
+  d_cp_bound : float;
+  d_chain_prod : (string * float) option;
   d_recommend_bilinear : bool;
   d_recommend_async : bool;
   d_baseline_speedup : float;
@@ -52,7 +56,7 @@ let speedup stats =
   let m = List.fold_left (fun a c -> a +. c.Cycle.makespan_us) 0. stats in
   if m <= 0. then 1. else s /. m
 
-let run_without (w : Workload.t) ~procs ~trace ~async ~bilinear =
+let run_without ?tracer (w : Workload.t) ~procs ~trace ~async ~bilinear =
   let net_config =
     if bilinear then
       { Network.default_config with Network.bilinear = true; bilinear_min_ces = 15 }
@@ -64,6 +68,7 @@ let run_without (w : Workload.t) ~procs ~trace ~async ~bilinear =
       Agent.learning = false;
       async_elaboration = async;
       net_config;
+      tracer;
       engine_mode =
         Engine.Sim_mode
           { Sim.procs; queues = Parallel.Multiple_queues; collect_trace = trace };
@@ -74,7 +79,10 @@ let run_without (w : Workload.t) ~procs ~trace ~async ~bilinear =
   (agent, summary)
 
 let diagnose ?(procs = 11) (w : Workload.t) =
-  let agent, summary = run_without w ~procs ~trace:true ~async:false ~bilinear:false in
+  let tracer = Trace.create () in
+  let agent, summary =
+    run_without ~tracer w ~procs ~trace:true ~async:false ~bilinear:false
+  in
   let cycles = List.filter (fun (s : Cycle.stats) -> s.Cycle.tasks > 0) summary.Agent.match_stats in
   let small =
     List.length (List.filter (fun (s : Cycle.stats) -> s.Cycle.tasks < small_cycle_tasks) cycles)
@@ -97,6 +105,34 @@ let diagnose ?(procs = 11) (w : Workload.t) =
     |> List.filteri (fun i _ -> i < 5)
   in
   let has_deep = List.exists (fun (_, d) -> d >= deep_chain_threshold) deepest in
+  (* profiler evidence: rebuild each cycle's spawn DAG from the event
+     stream and measure the longest task chain — the hard floor on the
+     cycle's makespan whatever the processor count *)
+  let reports = Critical_path.per_cycle (Trace.events tracer) in
+  let cp_ratio =
+    let withspan =
+      List.filter (fun r -> r.Critical_path.cp_makespan_us > 0.) reports
+    in
+    match withspan with
+    | [] -> 0.
+    | _ ->
+      List.fold_left
+        (fun a r -> a +. (r.Critical_path.cp_us /. r.Critical_path.cp_makespan_us))
+        0. withspan
+      /. float_of_int (List.length withspan)
+  in
+  let cp_bound, chain_prod =
+    match Critical_path.longest reports with
+    | None -> (Float.infinity, None)
+    | Some r ->
+      let owners = Observe.node_prods net r.Critical_path.cp_head_node in
+      let prod =
+        match owners with
+        | name :: _ -> Some (name, r.Critical_path.cp_us)
+        | [] -> None
+      in
+      (Critical_path.bound_speedup r, prod)
+  in
   {
     d_task = w.Workload.name;
     d_procs = procs;
@@ -105,6 +141,9 @@ let diagnose ?(procs = 11) (w : Workload.t) =
     d_long_tail_cycles = long_tails;
     d_avg_tail_ratio = avg_ratio;
     d_deepest = deepest;
+    d_cp_ratio = cp_ratio;
+    d_cp_bound = cp_bound;
+    d_chain_prod = chain_prod;
     (* a chain deep enough to restructure, plus any sign of serial tails *)
     d_recommend_bilinear = has_deep && (long_tails > 0 || avg_ratio > 0.05);
     (* synchronization overhead dominates when a quarter of the cycles
@@ -145,6 +184,15 @@ let pp ppf d =
   Format.fprintf ppf "avg tail ratio   %.2f of large-cycle time at <=%d concurrent tasks@."
     d.d_avg_tail_ratio tail_concurrency;
   Format.fprintf ppf "baseline speedup %.2f@." d.d_baseline_speedup;
+  Format.fprintf ppf
+    "critical path    %.2f of a cycle's makespan on the longest spawn chain@."
+    d.d_cp_ratio;
+  (match d.d_chain_prod with
+  | Some (name, us) ->
+    Format.fprintf ppf
+      "                 worst chain ends in %s (%.0f us; chain-limited speedup %.2f)@."
+      name us d.d_cp_bound
+  | None -> ());
   Format.fprintf ppf "deepest chains:@.";
   List.iter (fun (name, depth) -> Format.fprintf ppf "  %-40s depth %d@." name depth)
     d.d_deepest;

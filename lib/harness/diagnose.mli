@@ -22,6 +22,16 @@ type diagnosis = {
           in the system — the Figure 6-6 signature *)
   d_deepest : (string * int) list;
       (** the five deepest production chains (name, beta depth) *)
+  d_cp_ratio : float;
+      (** mean [critical path / makespan] over traced cycles: the share
+          of a cycle's time pinned down by its longest spawn chain *)
+  d_cp_bound : float;
+      (** chain-limited speedup bound of the worst cycle
+          ([serial / critical path]; [infinity] if no tasks ran) *)
+  d_chain_prod : (string * float) option;
+      (** the production whose chain ends the longest critical path,
+          with that chain's length in µs — the profiler-backed culprit
+          the §7 diagnosis names *)
   d_recommend_bilinear : bool;
   d_recommend_async : bool;
   d_baseline_speedup : float;

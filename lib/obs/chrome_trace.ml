@@ -1,0 +1,106 @@
+(* Lane (tid) assignment: virtual processors keep their own number, the
+   control process and the cycle markers get high tids so they sort
+   below the processor lanes. *)
+let control_tid = 9998
+let cycles_tid = 9999
+
+let tid_of_proc p = if p >= 0 then p else control_tid
+
+let lanes (events : Trace.event array) =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Trace.event) -> if e.Trace.proc >= 0 then Hashtbl.replace seen e.Trace.proc ())
+    events;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) seen [])
+
+let emit_event buf ~first ~name ~cat ~ph ~ts ?dur ~tid args =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  Buffer.add_string buf "\n{\"name\":";
+  Json.escape_to_buffer buf name;
+  Buffer.add_string buf ",\"cat\":";
+  Json.escape_to_buffer buf cat;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":%S,\"ts\":" ph);
+  Json.float_to_buffer buf ts;
+  (match dur with
+  | Some d ->
+    Buffer.add_string buf ",\"dur\":";
+    Json.float_to_buffer buf d
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":0,\"tid\":%d" tid);
+  if ph = "i" then Buffer.add_string buf ",\"s\":\"t\"";
+  (match args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":";
+    Json.to_buffer buf (Json.Obj args));
+  Buffer.add_char buf '}'
+
+let emit_meta buf ~first ~name ~tid ~value =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  Buffer.add_string buf "\n{\"name\":";
+  Json.escape_to_buffer buf name;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":" tid);
+  Json.escape_to_buffer buf value;
+  Buffer.add_string buf "}}"
+
+let to_buffer ?(node_name = fun id -> Printf.sprintf "node%d" id)
+    ?(queue_events = true) buf (events : Trace.event array) =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  emit_meta buf ~first ~name:"process_name" ~tid:0 ~value:"soar/psme match";
+  List.iter
+    (fun p ->
+      emit_meta buf ~first ~name:"thread_name" ~tid:p
+        ~value:(Printf.sprintf "proc %d" p))
+    (lanes events);
+  emit_meta buf ~first ~name:"thread_name" ~tid:control_tid ~value:"control";
+  emit_meta buf ~first ~name:"thread_name" ~tid:cycles_tid ~value:"cycles";
+  Array.iter
+    (fun (e : Trace.event) ->
+      let open Trace in
+      let tid = tid_of_proc e.proc in
+      match e.kind with
+      | Task_start -> ()  (* the Task_end complete event carries the span *)
+      | Task_end ->
+        emit_event buf ~first ~name:(node_name e.node) ~cat:"task" ~ph:"X"
+          ~ts:(e.t_us -. e.dur_us) ~dur:e.dur_us ~tid
+          [
+            ("node", Json.Int e.node);
+            ("task", Json.Int e.task);
+            ("parent", Json.Int e.parent);
+            ("cycle", Json.Int e.cycle);
+            ("scanned", Json.Int e.scanned);
+            ("emitted", Json.Int e.emitted);
+          ]
+      | Queue_push | Queue_pop | Queue_steal | Queue_failed_pop ->
+        if queue_events then
+          emit_event buf ~first ~name:(kind_name e.kind) ~cat:"queue" ~ph:"i"
+            ~ts:e.t_us ~tid
+            (if e.task >= 0 then [ ("task", Json.Int e.task) ] else [])
+      | Lock_wait ->
+        emit_event buf ~first ~name:"lock-wait" ~cat:"lock" ~ph:"X"
+          ~ts:(e.t_us -. e.dur_us) ~dur:e.dur_us ~tid []
+      | Cycle_begin -> ()  (* Cycle_end carries the whole span *)
+      | Cycle_end ->
+        emit_event buf ~first
+          ~name:(Printf.sprintf "cycle %d" e.cycle)
+          ~cat:"cycle" ~ph:"X" ~ts:(e.t_us -. e.dur_us) ~dur:e.dur_us
+          ~tid:cycles_tid
+          [ ("tasks", Json.Int e.scanned) ]
+      | Chunk_add ->
+        emit_event buf ~first ~name:"chunk-add" ~cat:"chunk" ~ph:"i" ~ts:e.t_us
+          ~tid:cycles_tid
+          [ ("pnode", Json.Int e.node); ("new_nodes", Json.Int e.emitted) ]
+      | Chunk_update ->
+        emit_event buf ~first ~name:"chunk-update" ~cat:"chunk" ~ph:"i"
+          ~ts:e.t_us ~tid:cycles_tid
+          [ ("chunks", Json.Int e.emitted) ])
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let to_string ?node_name ?queue_events events =
+  let buf = Buffer.create (64 * Array.length events) in
+  to_buffer ?node_name ?queue_events buf events;
+  Buffer.contents buf

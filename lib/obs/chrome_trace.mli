@@ -1,0 +1,30 @@
+(** Chrome trace-event (Perfetto) export.
+
+    Renders a traced run as a JSON timeline that opens directly in
+    [ui.perfetto.dev] or [chrome://tracing]: one lane ("thread") per
+    virtual match process showing its task executions as duration
+    events, a control lane for injected work, a cycles lane marking
+    elaboration-cycle spans and chunk events, and instant markers for
+    queue operations. This is the paper's Figure 6-6 at full fidelity —
+    every task, on its processor, on the shared virtual time axis.
+
+    The format is the "JSON Object Format" of the Trace Event spec:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}], timestamps in
+    microseconds. *)
+
+val to_buffer :
+  ?node_name:(int -> string) ->
+  ?queue_events:bool ->
+  Buffer.t ->
+  Trace.event array ->
+  unit
+(** [node_name] labels task slices (defaults to ["node<id>"]);
+    [queue_events] (default true) includes instant markers for queue
+    push/pop/steal/failed-pop. *)
+
+val to_string :
+  ?node_name:(int -> string) -> ?queue_events:bool -> Trace.event array -> string
+
+val lanes : Trace.event array -> int list
+(** The distinct virtual processors appearing in the events, sorted;
+    [-1] (control) excluded. *)

@@ -1,0 +1,124 @@
+type cycle_report = {
+  cp_cycle : int;
+  cp_tasks : int;
+  cp_serial_us : float;
+  cp_us : float;
+  cp_len : int;
+  cp_head_node : int;
+  cp_makespan_us : float;
+}
+
+type acc = {
+  mutable tasks : int;
+  mutable serial_us : float;
+  mutable best_us : float;
+  mutable best_len : int;
+  mutable best_node : int;
+  mutable t_min : float;
+  mutable t_max : float;
+  depth : (int, float * int) Hashtbl.t;  (* task -> (chain µs, chain len) *)
+}
+
+let per_cycle (events : Trace.event array) =
+  let cycles : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc_of c =
+    match Hashtbl.find_opt cycles c with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          tasks = 0;
+          serial_us = 0.;
+          best_us = 0.;
+          best_len = 0;
+          best_node = -1;
+          t_min = infinity;
+          t_max = neg_infinity;
+          depth = Hashtbl.create 256;
+        }
+      in
+      Hashtbl.replace cycles c a;
+      a
+  in
+  (* Chain lengths need parents resolved before children; task ids are
+     spawn-ordered, so process Task_end events sorted by task id. *)
+  let ends =
+    events |> Array.to_list
+    |> List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Task_end)
+    |> List.sort (fun (a : Trace.event) (b : Trace.event) ->
+           compare a.Trace.task b.Trace.task)
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let a = acc_of e.Trace.cycle in
+      a.tasks <- a.tasks + 1;
+      a.serial_us <- a.serial_us +. e.Trace.dur_us;
+      a.t_min <- Float.min a.t_min (e.Trace.t_us -. e.Trace.dur_us);
+      a.t_max <- Float.max a.t_max e.Trace.t_us;
+      let p_us, p_len =
+        match Hashtbl.find_opt a.depth e.Trace.parent with
+        | Some d -> d
+        | None -> (0., 0)
+      in
+      let us = p_us +. e.Trace.dur_us in
+      let len = p_len + 1 in
+      Hashtbl.replace a.depth e.Trace.task (us, len);
+      if us > a.best_us then begin
+        a.best_us <- us;
+        a.best_len <- len;
+        a.best_node <- e.Trace.node
+      end)
+    ends;
+  (* Cycle boundary events refine the makespan when present. *)
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Cycle_end when Hashtbl.mem cycles e.Trace.cycle ->
+        let a = acc_of e.Trace.cycle in
+        a.t_min <- Float.min a.t_min (e.Trace.t_us -. e.Trace.dur_us);
+        a.t_max <- Float.max a.t_max e.Trace.t_us
+      | _ -> ())
+    events;
+  Hashtbl.fold
+    (fun c a reports ->
+      {
+        cp_cycle = c;
+        cp_tasks = a.tasks;
+        cp_serial_us = a.serial_us;
+        cp_us = a.best_us;
+        cp_len = a.best_len;
+        cp_head_node = a.best_node;
+        cp_makespan_us = (if a.tasks = 0 then 0. else a.t_max -. a.t_min);
+      }
+      :: reports)
+    cycles []
+  |> List.filter (fun r -> r.cp_tasks > 0)
+  |> List.sort (fun a b -> compare a.cp_cycle b.cp_cycle)
+
+let bound_speedup r = if r.cp_us <= 0. then 1. else r.cp_serial_us /. r.cp_us
+
+let longest reports =
+  List.fold_left
+    (fun best r ->
+      match best with
+      | None -> Some r
+      | Some b -> if r.cp_us > b.cp_us then Some r else best)
+    None reports
+
+let pp ?(top = 8) ppf reports =
+  Format.fprintf ppf "%-7s %8s %12s %12s %7s %12s %8s@." "cycle" "tasks"
+    "serial_us" "chain_us" "chain" "makespan_us" "bound";
+  let by_chain = List.sort (fun a b -> compare b.cp_us a.cp_us) reports in
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Format.fprintf ppf "%-7d %8d %12.1f %12.1f %7d %12.1f %8.2f@."
+          r.cp_cycle r.cp_tasks r.cp_serial_us r.cp_us r.cp_len
+          r.cp_makespan_us (bound_speedup r))
+    by_chain;
+  let total_serial = List.fold_left (fun a r -> a +. r.cp_serial_us) 0. reports in
+  let total_cp = List.fold_left (fun a r -> a +. r.cp_us) 0. reports in
+  Format.fprintf ppf
+    "%d cycles: total serial %.1f us, summed chains %.1f us (chain-bound speedup %.2f)@."
+    (List.length reports) total_serial total_cp
+    (if total_cp <= 0. then 1. else total_serial /. total_cp)

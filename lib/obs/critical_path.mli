@@ -1,0 +1,41 @@
+(** Critical-path analysis of the task dependence DAG.
+
+    Every [Task_end] event names the task that spawned it, so the
+    tracer's stream contains the whole parent→child dependence DAG of
+    each cycle. This module reconstructs it and computes, per cycle, the
+    {e longest chain}: the maximum over tasks of the summed cost along
+    the spawn chain ending at that task. That chain is the paper's
+    "long chains" limit (§6.2, Figure 6-7) made computable — no
+    schedule on any number of processors can finish the cycle in less
+    than the chain's time, so [serial_us / cp_us] bounds the cycle's
+    attainable speedup and [cp_us <= makespan_us] always holds for the
+    simulated schedule.
+
+    Task serial numbers are assigned at spawn time, so a parent's
+    number is always smaller than its children's — one pass in id order
+    computes all chain lengths. *)
+
+type cycle_report = {
+  cp_cycle : int;  (** elaboration-cycle index *)
+  cp_tasks : int;  (** tasks executed in the cycle *)
+  cp_serial_us : float;  (** summed task cost (no alpha pass) *)
+  cp_us : float;  (** longest chain, µs *)
+  cp_len : int;  (** tasks on that chain *)
+  cp_head_node : int;  (** Rete node of the chain's last task *)
+  cp_makespan_us : float;
+      (** from the cycle's events: last activity minus cycle start
+          (includes queue waits, excludes the alpha pass) *)
+}
+
+val per_cycle : Trace.event array -> cycle_report list
+(** One report per cycle that executed at least one task, in cycle
+    order. *)
+
+val bound_speedup : cycle_report -> float
+(** [cp_serial_us / cp_us]: the cycle's chain-limited speedup bound. *)
+
+val longest : cycle_report list -> cycle_report option
+(** The cycle with the longest chain. *)
+
+val pp : ?top:int -> Format.formatter -> cycle_report list -> unit
+(** The [top] cycles by chain length, plus totals. *)

@@ -1,0 +1,36 @@
+(** Minimal JSON emission and validation.
+
+    The container carries no JSON library, and the observability layer
+    only needs to {e write} machine-readable exports (metrics snapshots,
+    [Cycle.to_json], Chrome trace files) and to {e check} them in tests,
+    so this module provides exactly that: a small document type with a
+    serializer, low-level [Buffer] helpers for bulk writers that cannot
+    afford an intermediate tree (the Chrome exporter), and a validating
+    parser used by the test suite and by consumers that want a sanity
+    check before shipping a file. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+(** {2 Low-level buffer helpers} *)
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string. *)
+
+val float_to_buffer : Buffer.t -> float -> unit
+(** Append a float literal ([null] when not finite). *)
+
+(** {2 Validation} *)
+
+val validate : string -> (unit, string) result
+(** Check that the whole input is one well-formed JSON document.
+    Errors report a byte offset. *)

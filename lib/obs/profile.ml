@@ -1,0 +1,147 @@
+type node_row = {
+  nr_node : int;
+  nr_kind : string;
+  nr_tasks : int;
+  nr_scanned : int;
+  nr_emitted : int;
+  nr_us : float;
+  nr_owners : int;
+}
+
+type prod_row = {
+  pr_name : string;
+  pr_tasks : float;
+  pr_scanned : float;
+  pr_emitted : float;
+  pr_us : float;
+  pr_nodes : int;
+}
+
+type t = {
+  nodes : node_row list;
+  prods : prod_row list;
+  total_tasks : int;
+  total_us : float;
+}
+
+type node_acc = {
+  mutable a_tasks : int;
+  mutable a_scanned : int;
+  mutable a_emitted : int;
+  mutable a_us : float;
+}
+
+type prod_acc = {
+  mutable p_tasks : float;
+  mutable p_scanned : float;
+  mutable p_emitted : float;
+  mutable p_us : float;
+  mutable p_nodes : int;
+}
+
+let unattributed = "(unattributed)"
+
+let of_events ~node_kind ~node_prods (events : Trace.event array) =
+  let by_node : (int, node_acc) Hashtbl.t = Hashtbl.create 256 in
+  let total_tasks = ref 0 in
+  let total_us = ref 0. in
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Task_end ->
+        let acc =
+          match Hashtbl.find_opt by_node e.Trace.node with
+          | Some a -> a
+          | None ->
+            let a = { a_tasks = 0; a_scanned = 0; a_emitted = 0; a_us = 0. } in
+            Hashtbl.replace by_node e.Trace.node a;
+            a
+        in
+        acc.a_tasks <- acc.a_tasks + 1;
+        acc.a_scanned <- acc.a_scanned + e.Trace.scanned;
+        acc.a_emitted <- acc.a_emitted + e.Trace.emitted;
+        acc.a_us <- acc.a_us +. e.Trace.dur_us;
+        incr total_tasks;
+        total_us := !total_us +. e.Trace.dur_us
+      | _ -> ())
+    events;
+  let by_prod : (string, prod_acc) Hashtbl.t = Hashtbl.create 64 in
+  let prod_acc name =
+    match Hashtbl.find_opt by_prod name with
+    | Some p -> p
+    | None ->
+      let p =
+        { p_tasks = 0.; p_scanned = 0.; p_emitted = 0.; p_us = 0.; p_nodes = 0 }
+      in
+      Hashtbl.replace by_prod name p;
+      p
+  in
+  let nodes =
+    Hashtbl.fold
+      (fun node acc rows ->
+        let owners = node_prods node in
+        let owners = if owners = [] then [ unattributed ] else owners in
+        let share = 1. /. float_of_int (List.length owners) in
+        List.iter
+          (fun name ->
+            let p = prod_acc name in
+            p.p_tasks <- p.p_tasks +. (share *. float_of_int acc.a_tasks);
+            p.p_scanned <- p.p_scanned +. (share *. float_of_int acc.a_scanned);
+            p.p_emitted <- p.p_emitted +. (share *. float_of_int acc.a_emitted);
+            p.p_us <- p.p_us +. (share *. acc.a_us);
+            p.p_nodes <- p.p_nodes + 1)
+          owners;
+        {
+          nr_node = node;
+          nr_kind = node_kind node;
+          nr_tasks = acc.a_tasks;
+          nr_scanned = acc.a_scanned;
+          nr_emitted = acc.a_emitted;
+          nr_us = acc.a_us;
+          nr_owners = List.length owners;
+        }
+        :: rows)
+      by_node []
+  in
+  let prods =
+    Hashtbl.fold
+      (fun name p rows ->
+        {
+          pr_name = name;
+          pr_tasks = p.p_tasks;
+          pr_scanned = p.p_scanned;
+          pr_emitted = p.p_emitted;
+          pr_us = p.p_us;
+          pr_nodes = p.p_nodes;
+        }
+        :: rows)
+      by_prod []
+  in
+  {
+    nodes = List.sort (fun a b -> compare b.nr_us a.nr_us) nodes;
+    prods = List.sort (fun a b -> compare b.pr_us a.pr_us) prods;
+    total_tasks = !total_tasks;
+    total_us = !total_us;
+  }
+
+let pp_nodes ?(top = 10) ppf t =
+  Format.fprintf ppf "%-8s %-12s %8s %9s %8s %12s %6s@." "node" "kind" "tasks"
+    "scanned" "emitted" "us" "owners";
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Format.fprintf ppf "%-8d %-12s %8d %9d %8d %12.1f %6d@." r.nr_node
+          r.nr_kind r.nr_tasks r.nr_scanned r.nr_emitted r.nr_us r.nr_owners)
+    t.nodes
+
+let pp_prods ?(top = 15) ppf t =
+  Format.fprintf ppf "%-40s %10s %10s %9s %12s %6s@." "production" "tasks"
+    "scanned" "emitted" "us" "nodes";
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Format.fprintf ppf "%-40s %10.1f %10.1f %9.1f %12.1f %6d@." r.pr_name
+          r.pr_tasks r.pr_scanned r.pr_emitted r.pr_us r.pr_nodes)
+    t.prods;
+  if List.length t.prods > top then
+    Format.fprintf ppf "  ... %d more productions@." (List.length t.prods - top)

@@ -1,0 +1,47 @@
+(** Per-node / per-production match profiler over the event stream.
+
+    Folds the tracer's [Task_end] events into a cost account: for every
+    Rete node, the tasks executed there, the memory entries scanned, the
+    child tasks emitted and the virtual microseconds charged; and the
+    same rolled up to productions. A node shared by [k] productions
+    contributes [1/k] of its cost to each (so the production table
+    partitions the total task time exactly); nodes owned by no
+    production are reported under ["(unattributed)"].
+
+    The caller supplies the node metadata as functions, so this module
+    needs no dependency on the Rete representation. *)
+
+type node_row = {
+  nr_node : int;
+  nr_kind : string;
+  nr_tasks : int;
+  nr_scanned : int;
+  nr_emitted : int;
+  nr_us : float;
+  nr_owners : int;  (** productions sharing this node *)
+}
+
+type prod_row = {
+  pr_name : string;
+  pr_tasks : float;  (** fractional: shared nodes split their counts *)
+  pr_scanned : float;
+  pr_emitted : float;
+  pr_us : float;
+  pr_nodes : int;  (** nodes (partly) attributed to this production *)
+}
+
+type t = {
+  nodes : node_row list;  (** sorted by µs, hottest first *)
+  prods : prod_row list;  (** sorted by µs, hottest first *)
+  total_tasks : int;
+  total_us : float;  (** sum of task costs over all events *)
+}
+
+val of_events :
+  node_kind:(int -> string) ->
+  node_prods:(int -> string list) ->
+  Trace.event array ->
+  t
+
+val pp_nodes : ?top:int -> Format.formatter -> t -> unit
+val pp_prods : ?top:int -> Format.formatter -> t -> unit

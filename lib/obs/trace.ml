@@ -1,0 +1,174 @@
+type kind =
+  | Task_start
+  | Task_end
+  | Queue_push
+  | Queue_pop
+  | Queue_steal
+  | Queue_failed_pop
+  | Lock_wait
+  | Cycle_begin
+  | Cycle_end
+  | Chunk_add
+  | Chunk_update
+
+let kind_name = function
+  | Task_start -> "task-start"
+  | Task_end -> "task-end"
+  | Queue_push -> "queue-push"
+  | Queue_pop -> "queue-pop"
+  | Queue_steal -> "queue-steal"
+  | Queue_failed_pop -> "queue-failed-pop"
+  | Lock_wait -> "lock-wait"
+  | Cycle_begin -> "cycle-begin"
+  | Cycle_end -> "cycle-end"
+  | Chunk_add -> "chunk-add"
+  | Chunk_update -> "chunk-update"
+
+let kind_to_int = function
+  | Task_start -> 0
+  | Task_end -> 1
+  | Queue_push -> 2
+  | Queue_pop -> 3
+  | Queue_steal -> 4
+  | Queue_failed_pop -> 5
+  | Lock_wait -> 6
+  | Cycle_begin -> 7
+  | Cycle_end -> 8
+  | Chunk_add -> 9
+  | Chunk_update -> 10
+
+let kind_of_int = function
+  | 0 -> Task_start
+  | 1 -> Task_end
+  | 2 -> Queue_push
+  | 3 -> Queue_pop
+  | 4 -> Queue_steal
+  | 5 -> Queue_failed_pop
+  | 6 -> Lock_wait
+  | 7 -> Cycle_begin
+  | 8 -> Cycle_end
+  | 9 -> Chunk_add
+  | 10 -> Chunk_update
+  | _ -> invalid_arg "Trace.kind_of_int"
+
+type event = {
+  t_us : float;
+  kind : kind;
+  proc : int;
+  node : int;
+  task : int;
+  parent : int;
+  cycle : int;
+  dur_us : float;
+  scanned : int;
+  emitted : int;
+}
+
+(* Struct-of-arrays ring: an emission touches ten flat arrays and never
+   allocates, which keeps tracing cheap enough to leave on. *)
+type t = {
+  cap : int;
+  e_t : float array;
+  e_dur : float array;
+  e_kind : int array;
+  e_proc : int array;
+  e_node : int array;
+  e_task : int array;
+  e_parent : int array;
+  e_cycle : int array;
+  e_scanned : int array;
+  e_emitted : int array;
+  mutable len : int;  (* events stored, <= cap *)
+  mutable head : int;  (* next write slot *)
+  mutable n_dropped : int;
+  mutable base_us : float;
+  mutable cur_cycle : int;
+  lock : Mutex.t;
+}
+
+let round_pow2 n =
+  let rec go k = if k >= n then k else go (k * 2) in
+  go 1
+
+let create ?(capacity = 1 lsl 20) () =
+  let cap = round_pow2 (max 16 capacity) in
+  {
+    cap;
+    e_t = Array.make cap 0.;
+    e_dur = Array.make cap 0.;
+    e_kind = Array.make cap 0;
+    e_proc = Array.make cap 0;
+    e_node = Array.make cap 0;
+    e_task = Array.make cap 0;
+    e_parent = Array.make cap 0;
+    e_cycle = Array.make cap 0;
+    e_scanned = Array.make cap 0;
+    e_emitted = Array.make cap 0;
+    len = 0;
+    head = 0;
+    n_dropped = 0;
+    base_us = 0.;
+    cur_cycle = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let emit t kind ~t_us ?(proc = -1) ?(node = -1) ?(task = -1) ?(parent = -1)
+    ?(dur_us = 0.) ?(scanned = 0) ?(emitted = 0) () =
+  Mutex.lock t.lock;
+  let i = t.head in
+  t.e_t.(i) <- t.base_us +. t_us;
+  t.e_dur.(i) <- dur_us;
+  t.e_kind.(i) <- kind_to_int kind;
+  t.e_proc.(i) <- proc;
+  t.e_node.(i) <- node;
+  t.e_task.(i) <- task;
+  t.e_parent.(i) <- parent;
+  t.e_cycle.(i) <- t.cur_cycle;
+  t.e_scanned.(i) <- scanned;
+  t.e_emitted.(i) <- emitted;
+  t.head <- (i + 1) land (t.cap - 1);
+  if t.len < t.cap then t.len <- t.len + 1 else t.n_dropped <- t.n_dropped + 1;
+  Mutex.unlock t.lock
+
+let set_base t b = Mutex.protect t.lock (fun () -> t.base_us <- b)
+let base t = t.base_us
+let set_cycle t c = Mutex.protect t.lock (fun () -> t.cur_cycle <- c)
+let cycle t = t.cur_cycle
+let length t = t.len
+let dropped t = t.n_dropped
+
+let events t =
+  Mutex.protect t.lock (fun () ->
+      let start = (t.head - t.len + t.cap) land (t.cap - 1) in
+      let arr =
+        Array.init t.len (fun j ->
+            let i = (start + j) land (t.cap - 1) in
+            {
+              t_us = t.e_t.(i);
+              kind = kind_of_int t.e_kind.(i);
+              proc = t.e_proc.(i);
+              node = t.e_node.(i);
+              task = t.e_task.(i);
+              parent = t.e_parent.(i);
+              cycle = t.e_cycle.(i);
+              dur_us = t.e_dur.(i);
+              scanned = t.e_scanned.(i);
+              emitted = t.e_emitted.(i);
+            })
+      in
+      (* Emission order is not strictly time order (an engine may emit a
+         future task-end before an earlier queue event); sort stably. *)
+      let idx = Array.mapi (fun i e -> (i, e)) arr in
+      Array.sort
+        (fun (i, a) (j, b) ->
+          match compare a.t_us b.t_us with 0 -> compare i j | c -> c)
+        idx;
+      Array.map snd idx)
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      t.len <- 0;
+      t.head <- 0;
+      t.n_dropped <- 0)

@@ -1,0 +1,90 @@
+(** Structured event tracer: a fixed-capacity ring buffer of typed
+    match events.
+
+    The engines emit one event per interesting transition — task
+    start/end (with the Rete node, a per-episode task serial number and
+    the parent task that spawned it), task-queue operations, lock waits,
+    cycle boundaries, chunk additions and updates. The buffer is
+    struct-of-arrays and preallocated, so an emission is a handful of
+    array stores; when the buffer is full the oldest events are
+    overwritten and counted in {!dropped}.
+
+    Times are in {e virtual microseconds} on a single global timeline:
+    each engine emits cycle-local times and the tracer offsets them by
+    {!set_base}, which {!Psme_engine.Engine} advances after every cycle.
+    The tracer also stamps every event with the current cycle index
+    ({!set_cycle}).
+
+    Emission is serialized by an internal mutex so the real parallel
+    engine's domains can share one tracer. *)
+
+type kind =
+  | Task_start
+  | Task_end  (** [dur_us] = task cost; [scanned]/[emitted] filled *)
+  | Queue_push  (** a task was enqueued; [task]/[parent] identify it *)
+  | Queue_pop  (** popped from the process's own queue *)
+  | Queue_steal  (** popped from another process's queue *)
+  | Queue_failed_pop  (** probe found the queue empty *)
+  | Lock_wait  (** waited [dur_us] for an exclusive resource *)
+  | Cycle_begin
+  | Cycle_end  (** [dur_us] = makespan; [scanned] = tasks executed *)
+  | Chunk_add  (** [node] = new P-node; [emitted] = new beta nodes *)
+  | Chunk_update  (** [emitted] = chunks updated in this batch *)
+
+val kind_name : kind -> string
+
+type event = {
+  t_us : float;  (** global virtual time *)
+  kind : kind;
+  proc : int;  (** virtual processor; -1 = the control process *)
+  node : int;  (** Rete node id; -1 when not applicable *)
+  task : int;  (** task serial number within the episode; -1 n/a *)
+  parent : int;  (** serial number of the spawning task; -1 = seed *)
+  cycle : int;  (** elaboration-cycle index *)
+  dur_us : float;
+  scanned : int;
+  emitted : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to [1 lsl 20] events and is rounded up to a
+    power of two. *)
+
+val capacity : t -> int
+
+val emit :
+  t ->
+  kind ->
+  t_us:float ->
+  ?proc:int ->
+  ?node:int ->
+  ?task:int ->
+  ?parent:int ->
+  ?dur_us:float ->
+  ?scanned:int ->
+  ?emitted:int ->
+  unit ->
+  unit
+(** Record one event at base + [t_us], stamped with the current cycle. *)
+
+val set_base : t -> float -> unit
+(** Set the offset added to every emitted [t_us]. *)
+
+val base : t -> float
+
+val set_cycle : t -> int -> unit
+val cycle : t -> int
+
+val length : t -> int
+(** Events currently held (<= capacity). *)
+
+val dropped : t -> int
+(** Events overwritten because the buffer wrapped. *)
+
+val events : t -> event array
+(** The retained events, sorted by time (stable). *)
+
+val clear : t -> unit
+(** Drop all events and the dropped count; base and cycle are kept. *)

@@ -36,17 +36,30 @@ let next_pow2 n =
 
 let create ?(lines = 512) () =
   let n = next_pow2 lines in
-  {
-    lines =
-      Array.init n (fun _ ->
-          { lock = Mutex.create (); left = Vec.create (); right = Vec.create ();
-            left_accesses = 0 });
-    mask = n - 1;
-    spins = Atomic.make 0;
-    left_total = Atomic.make 0;
-    right_total = Atomic.make 0;
-    hist = Hashtbl.create 64;
-  }
+  let t =
+    {
+      lines =
+        Array.init n (fun _ ->
+            { lock = Mutex.create (); left = Vec.create (); right = Vec.create ();
+              left_accesses = 0 });
+      mask = n - 1;
+      spins = Atomic.make 0;
+      left_total = Atomic.make 0;
+      right_total = Atomic.make 0;
+      hist = Hashtbl.create 64;
+    }
+  in
+  (* The most recently created memory owns the well-known probe names;
+     sampling costs nothing on the access paths. *)
+  let module M = Psme_obs.Metrics in
+  M.set_probe M.global "rete.memory.lines" (fun () -> float_of_int n);
+  M.set_probe M.global "rete.memory.left_accesses" (fun () ->
+      float_of_int (Atomic.get t.left_total));
+  M.set_probe M.global "rete.memory.right_accesses" (fun () ->
+      float_of_int (Atomic.get t.right_total));
+  M.set_probe M.global "rete.memory.lock_spins" (fun () ->
+      float_of_int (Atomic.get t.spins));
+  t
 
 let line_count t = Array.length t.lines
 let line_of t ~khash = khash land t.mask

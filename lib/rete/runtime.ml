@@ -291,7 +291,17 @@ let exec_pnode net _n pi (flag : Task.flag) token =
 
 (* --- dispatch ---------------------------------------------------------- *)
 
-let exec net task =
+(* Process-wide activation counters, shared by all engines (the
+   observability layer's registry). Atomic, so the real parallel
+   engine's domains can bump them concurrently. *)
+let m_tasks = Psme_obs.Metrics.counter Psme_obs.Metrics.global "rete.runtime.tasks"
+let m_scanned = Psme_obs.Metrics.counter Psme_obs.Metrics.global "rete.runtime.scanned"
+let m_children = Psme_obs.Metrics.counter Psme_obs.Metrics.global "rete.runtime.children"
+
+let m_alpha =
+  Psme_obs.Metrics.counter Psme_obs.Metrics.global "rete.runtime.alpha_activations"
+
+let exec_dispatch net task =
   match task with
   | Task.Right { node = nid; flag; wme } -> (
     match Hashtbl.find_opt net.beta nid with
@@ -325,6 +335,13 @@ let exec net task =
       | Entry | Join _ | Neg _ | Ncc _ | Pnode _ ->
         invalid_arg "Runtime.exec: right token delivered to a non-binary node"))
 
+let exec net task =
+  let o = exec_dispatch net task in
+  Psme_obs.Metrics.incr m_tasks;
+  Psme_obs.Metrics.add m_scanned o.scanned;
+  Psme_obs.Metrics.add m_children (List.length o.children);
+  o
+
 (* --- alpha seeding ------------------------------------------------------ *)
 
 let seed_wme_change ?(min_node_id = 0) net flag w =
@@ -337,6 +354,7 @@ let seed_wme_change ?(min_node_id = 0) net flag w =
               tasks := Task.Right { node = nid; flag; wme = w } :: !tasks)
           (Alpha.successors net.alpha ~amem))
   in
+  Psme_obs.Metrics.add m_alpha activations;
   (List.rev !tasks, activations)
 
 (* --- replay (update phase, §5.2) ----------------------------------------- *)

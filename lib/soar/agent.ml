@@ -15,6 +15,7 @@ type config = {
   cost : Cost.params;
   trace : bool;
   async_elaboration : bool;
+  tracer : Psme_obs.Trace.t option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     cost = Cost.default;
     trace = false;
     async_elaboration = false;
+    tracer = None;
   }
 
 type chunk_info = {
@@ -242,7 +244,9 @@ let create ?(config = default_config) schema productions =
   prepare_schema schema;
   let net = Network.create ~config:config.net_config schema in
   ignore (Build.add_all net productions);
-  let eng = Engine.create ~cost:config.cost config.engine_mode net in
+  let eng =
+    Engine.create ~cost:config.cost ?tracer:config.tracer config.engine_mode net
+  in
   let t =
     {
       cfg = config;
@@ -378,6 +382,11 @@ let compile_chunk t grounds (result : Wme.t) =
         }
       in
       t.chunks_rev <- info :: t.chunks_rev;
+      (match t.cfg.tracer with
+      | Some tr ->
+        Psme_obs.Trace.emit tr Psme_obs.Trace.Chunk_add ~t_us:0.
+          ~node:res.Build.meta.Network.pnode ~emitted:info.ci_new_nodes ()
+      | None -> ());
       if t.cfg.trace then
         Log.app (fun m ->
             m "chunk %s: %d CEs, %d new nodes" (Sym.name prod.Production.name)
@@ -410,6 +419,11 @@ let build_pending_chunks t =
       let tasks =
         Update.update_tasks_batch t.net t.wm (List.map snd installed)
       in
+      (match t.cfg.tracer with
+      | Some tr ->
+        Psme_obs.Trace.emit tr Psme_obs.Trace.Chunk_update ~t_us:0.
+          ~emitted:(List.length installed) ()
+      | None -> ());
       let ustats = Engine.run_tasks t.eng tasks in
       t.update_stats_rev <- ustats :: t.update_stats_rev;
       (* instantiations derived by the update describe already-derived

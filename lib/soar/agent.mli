@@ -33,6 +33,10 @@ type config = {
           match and synchronize only at decisions, so an elaboration
           phase runs as one continuous episode (more parallelism in the
           small-cycle regime) *)
+  tracer : Psme_obs.Trace.t option;
+      (** structured event tracing: handed to the engine (task, queue
+          and cycle events on one virtual timeline) and fed chunk
+          add/update markers by the architecture *)
 }
 
 val default_config : config

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "soar-psme"
     [
       ("support", Test_support.suite);
+      ("obs", Test_obs.suite);
       ("ops5", Test_ops5.suite);
       ("rete", Test_rete.suite);
       ("soar", Test_soar.suite);

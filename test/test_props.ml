@@ -170,6 +170,74 @@ let prop_parallel_equals_serial =
       List.iter (fun b -> ignore (Parallel.run_changes cfg net_b b)) batches;
       Fixtures.cs_fingerprint net_a = Fixtures.cs_fingerprint net_b)
 
+(* --- observability does not perturb the match ------------------------------- *)
+
+let prop_traced_sim_equals_serial =
+  QCheck.Test.make ~count:40 ~name:"tracing and metrics do not change the match"
+    (QCheck.pair arb_productions arb_history)
+    (fun (prods, history) ->
+      let schema = blocks_schema () in
+      let batches = realize_history schema history in
+      let net_a = build_net schema prods in
+      List.iter (fun b -> ignore (Serial.run_changes net_a b)) batches;
+      let net_b = build_net schema prods in
+      let tracer = Psme_obs.Trace.create () in
+      let cfg =
+        { Sim.procs = 5; queues = Parallel.Multiple_queues; collect_trace = true }
+      in
+      List.iter (fun b -> ignore (Sim.run_changes ~tracer cfg net_b b)) batches;
+      Fixtures.cs_fingerprint net_a = Fixtures.cs_fingerprint net_b)
+
+let prop_traced_sim_self_consistent =
+  (* one traced episode's (time, tasks-in-system) samples and its event
+     stream must agree with each other and with the returned stats *)
+  QCheck.Test.make ~count:40 ~name:"traced sim episode is self-consistent"
+    (QCheck.pair arb_productions arb_history)
+    (fun (prods, history) ->
+      let schema = blocks_schema () in
+      let batches = realize_history schema history in
+      let net = build_net schema prods in
+      let cfg =
+        { Sim.procs = 5; queues = Parallel.Multiple_queues; collect_trace = true }
+      in
+      List.for_all
+        (fun batch ->
+          let tracer = Psme_obs.Trace.create () in
+          let stats = Sim.run_changes ~tracer cfg net batch in
+          let events = Psme_obs.Trace.events tracer in
+          let count pred = Array.fold_left (fun a e -> if pred e then a + 1 else a) 0 events in
+          let seeds =
+            count (fun (e : Psme_obs.Trace.event) ->
+                e.kind = Psme_obs.Trace.Queue_push && e.parent = -1)
+          in
+          let ends = count (fun e -> e.Psme_obs.Trace.kind = Psme_obs.Trace.Task_end) in
+          let raw_makespan =
+            stats.Cycle.makespan_us
+            -. (Cost.default.Cost.alpha_act_us
+               *. float_of_int stats.Cycle.alpha_activations)
+          in
+          let tr = stats.Cycle.trace in
+          let n = Array.length tr in
+          n >= 2
+          (* starts at the seed count, at time zero *)
+          && fst tr.(0) = 0.
+          && snd tr.(0) = seeds
+          (* every task in the system is eventually retired *)
+          && snd tr.(n - 1) = 0
+          (* samples stay within the episode *)
+          && Array.for_all
+               (fun (t, k) -> t >= 0. && t <= raw_makespan +. 1e-6 && k >= 0)
+               tr
+          (* one Task_end per executed task, spawned after its parent *)
+          && ends = stats.Cycle.tasks
+          && Array.for_all
+               (fun (e : Psme_obs.Trace.event) ->
+                 e.kind <> Psme_obs.Trace.Task_end
+                 || e.parent < 0
+                 || e.parent < e.task)
+               events)
+        batches)
+
 (* --- add/remove symmetry --------------------------------------------------- *)
 
 let prop_remove_all_empties_cs =
@@ -457,6 +525,8 @@ let suite =
     [
       prop_sim_equals_serial;
       prop_parallel_equals_serial;
+      prop_traced_sim_equals_serial;
+      prop_traced_sim_self_consistent;
       prop_remove_all_empties_cs;
       prop_match_is_history_independent;
       prop_runtime_add_equals_preload;

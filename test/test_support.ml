@@ -148,6 +148,25 @@ let test_stats_merge () =
   Alcotest.(check (float 1e-9)) "mean" (Stats.mean all) (Stats.mean m);
   Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev all) (Stats.stddev m)
 
+let test_percentile_edges () =
+  Alcotest.(check bool) "empty yields nan" true
+    (Float.is_nan (Stats.percentile [||] 50.));
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  Alcotest.(check (float 0.)) "p0 is the minimum" 1. (Stats.percentile xs 0.);
+  Alcotest.(check (float 0.)) "p100 is the maximum" 5. (Stats.percentile xs 100.);
+  Alcotest.(check (float 0.)) "p50 is the median" 3. (Stats.percentile xs 50.);
+  Alcotest.(check (float 0.)) "singleton, any p" 7. (Stats.percentile [| 7. |] 0.);
+  Alcotest.(check (float 0.)) "input not mutated" 5. xs.(0);
+  let rejects p =
+    Alcotest.check_raises
+      (Printf.sprintf "p = %g rejected" p)
+      (Invalid_argument "Stats.percentile: p must be in [0, 100]")
+      (fun () -> ignore (Stats.percentile xs p))
+  in
+  rejects (-1.);
+  rejects 100.5;
+  rejects Float.nan
+
 let test_histogram () =
   let h = Histogram.create ~bucket_width:25. ~buckets:4 in
   List.iter (Histogram.add h) [ 0.; 10.; 30.; 70.; 1000. ];
@@ -174,5 +193,6 @@ let suite =
     Alcotest.test_case "event queue interleaved" `Quick test_event_queue_interleaved;
     Alcotest.test_case "stats welford" `Quick test_stats_welford;
     Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
     Alcotest.test_case "histogram" `Quick test_histogram;
   ]
