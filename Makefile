@@ -2,7 +2,7 @@
 # must pass. Formatting is checked only when ocamlformat is installed
 # (the CI format job is advisory too).
 
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt lint verify check bench clean
 
 all: build
 
@@ -19,7 +19,14 @@ fmt:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test fmt
+lint:
+	dune exec bin/soar_cli.exe -- lint programs/blocks.ops5 programs/selection.soar --strict
+
+verify:
+	dune exec bin/soar_cli.exe -- check --workload all
+	dune exec bin/soar_cli.exe -- races --engine sim
+
+check: build test fmt lint verify
 
 bench:
 	dune exec bench/main.exe

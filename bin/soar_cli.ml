@@ -12,6 +12,7 @@ open Psme_workloads
 let workloads = [ Eight_puzzle.workload; Strips.workload; Cypress.workload ]
 
 let find_workload name =
+  let name = String.map (function '_' -> '-' | c -> c) name in
   match List.find_opt (fun w -> w.Workload.name = name) workloads with
   | Some w -> Ok w
   | None ->
@@ -471,12 +472,158 @@ let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "parse" ~doc) Term.(const parse_cmd_impl $ file)
 
+(* --- check ----------------------------------------------------------------------- *)
+
+let check_workload_arg =
+  let doc = "Workload to verify: eight-puzzle, strips, cypress or all." in
+  Arg.(value & opt string "all" & info [ "workload" ] ~docv:"TASK" ~doc)
+
+let print_report name report =
+  if report.Psme_check.Finding.findings = [] then
+    Format.printf "%s: clean (%d checked)@." name report.Psme_check.Finding.checked
+  else Format.printf "%s:@.%a@." name Psme_check.Finding.pp report
+
+let check_one w =
+  (* A full learning run exercises §5.1 chunk addition and the §5.2
+     state update before the verifier looks at the result. *)
+  let config =
+    { Agent.default_config with Agent.learning = true; engine_mode = Engine.Serial_mode }
+  in
+  let agent = w.Workload.make ~config () in
+  ignore (Agent.run agent);
+  (* a (halt) exits mid-phase; settle the match before diffing it *)
+  Agent.flush_match agent;
+  let net = Agent.network agent in
+  let wmes = Wm.to_list (Agent.wm agent) in
+  Psme_check.Verify.full net wmes
+
+let check_cmd_impl task =
+  setup_logs false;
+  let targets =
+    if task = "all" then Ok workloads
+    else match find_workload task with Ok w -> Ok [ w ] | Error e -> Error e
+  in
+  match targets with
+  | Error e -> prerr_endline e; 2
+  | Ok ws ->
+    let report =
+      List.fold_left
+        (fun acc w ->
+          let r = check_one w in
+          print_report w.Workload.name r;
+          Psme_check.Finding.merge acc r)
+        Psme_check.Finding.empty ws
+    in
+    Psme_check.Finding.exit_code report
+
+let check_cmd =
+  let doc =
+    "Verify the compiled (and chunk-extended) Rete network of a workload: \
+     structural invariants (wiring, monotone node ids, reachability) and \
+     match-state consistency against a from-scratch serial rebuild."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd_impl $ check_workload_arg)
+
+(* --- lint ----------------------------------------------------------------------- *)
+
+let lint_files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+
+let strict_arg =
+  let doc = "Fail (exit 1) on warnings too, not just errors." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let lint_cmd_impl files strict =
+  setup_logs false;
+  let lint_file acc file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let schema = Schema.create () in
+    Agent.prepare_schema schema;
+    match Psme_check.Lint.source schema src with
+    | report ->
+      print_report file report;
+      Result.map (fun a -> Psme_check.Finding.merge a report) acc
+    | exception Parser.Parse_error (msg, { Lexer.line }) ->
+      Format.eprintf "%s: parse error at line %d: %s@." file line msg;
+      Error ()
+    | exception Lexer.Lex_error (msg, { Lexer.line }) ->
+      Format.eprintf "%s: lex error at line %d: %s@." file line msg;
+      Error ()
+  in
+  match List.fold_left lint_file (Ok Psme_check.Finding.empty) files with
+  | Error () -> 2
+  | Ok report -> Psme_check.Finding.exit_code ~strict report
+
+let lint_cmd =
+  let doc =
+    "Lint production source files: schema-aware checks for unused variables, \
+     unsatisfiable or duplicate conditions, cross-product joins and \
+     productions that can never fire. Suppress a finding with a \
+     '; lint: allow <rule> [<production>]' comment."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_cmd_impl $ lint_files_arg $ strict_arg)
+
+(* --- races ----------------------------------------------------------------------- *)
+
+let races_workload_arg =
+  let doc = "Workload to run under the race detector." in
+  Arg.(value & opt string "eight-puzzle" & info [ "workload" ] ~docv:"TASK" ~doc)
+
+let races_engine_arg =
+  let doc = "Engine to race-check: sim or parallel." in
+  Arg.(value & opt string "sim" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let races_cmd_impl task engine procs queues =
+  setup_logs false;
+  match (find_workload task, parse_engine engine procs queues) with
+  | Error e, _ | _, Error e -> prerr_endline e; 2
+  | _, Ok Engine.Serial_mode ->
+    prerr_endline "the serial engine has no concurrency to race-check; use sim or parallel";
+    2
+  | Ok w, Ok engine_mode ->
+    let tracer = Psme_obs.Trace.create ~capacity:(1 lsl 21) () in
+    let config =
+      {
+        Agent.default_config with
+        Agent.learning = true;
+        engine_mode;
+        tracer = Some tracer;
+      }
+    in
+    let agent = w.Workload.make ~config () in
+    ignore (Agent.run agent);
+    let events = Psme_obs.Trace.events tracer in
+    if Psme_obs.Trace.dropped tracer > 0 then
+      Format.printf
+        "warning: ring buffer wrapped, %d events dropped — coverage is partial@."
+        (Psme_obs.Trace.dropped tracer);
+    let r = Psme_check.Races.analyze events in
+    Format.printf "%s on %s: %a@." w.Workload.name engine Psme_check.Races.pp r;
+    let report = Psme_check.Races.to_findings r in
+    if report.Psme_check.Finding.findings <> [] then
+      Format.printf "%a@." Psme_check.Finding.pp report;
+    Psme_check.Finding.exit_code report
+
+let races_cmd =
+  let doc =
+    "Run a workload on a concurrent engine with memory-access tracing and \
+     check the trace for data races: accesses to one hash line unordered by \
+     happens-before and not both holding the line lock."
+  in
+  Cmd.v (Cmd.info "races" ~doc)
+    Term.(
+      const races_cmd_impl $ races_workload_arg $ races_engine_arg $ procs_arg
+      $ queues_arg)
+
 let main =
   let doc = "Soar/PSM-E: a learning production system on a parallel matcher" in
   Cmd.group (Cmd.info "soar_cli" ~doc)
     [
       run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; profile_cmd;
-      trace_cmd; dump_cmd; parse_cmd;
+      trace_cmd; dump_cmd; parse_cmd; check_cmd; lint_cmd; races_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

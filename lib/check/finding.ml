@@ -1,0 +1,51 @@
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  rule : string;
+  subject : string;
+  detail : string;
+}
+
+type report = {
+  findings : finding list;
+  checked : int;
+  suppressed : int;
+}
+
+let error ~rule ~subject detail = { severity = Error; rule; subject; detail }
+let warning ~rule ~subject detail = { severity = Warning; rule; subject; detail }
+
+let report ?(checked = 0) ?(suppressed = 0) findings =
+  { findings; checked; suppressed }
+
+let empty = { findings = []; checked = 0; suppressed = 0 }
+
+let merge a b =
+  {
+    findings = a.findings @ b.findings;
+    checked = a.checked + b.checked;
+    suppressed = a.suppressed + b.suppressed;
+  }
+
+let count sev r =
+  List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let errors = count Error
+let warnings = count Warning
+
+let exit_code ?(strict = false) r =
+  if errors r > 0 then 1
+  else if strict && r.findings <> [] then 1
+  else 0
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    f.rule f.subject f.detail
+
+let pp ppf r =
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) r.findings;
+  Format.fprintf ppf "%d finding(s) (%d error(s), %d warning(s)), %d checked"
+    (List.length r.findings) (errors r) (warnings r) r.checked;
+  if r.suppressed > 0 then Format.fprintf ppf ", %d suppressed" r.suppressed

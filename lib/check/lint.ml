@@ -1,0 +1,348 @@
+open Psme_support
+open Psme_ops5
+
+(* ------------------------------------------------------------------ *)
+(* Per-CE satisfiability                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a field's tests ([T_conj] included) into atomic constraints. *)
+let rec atoms = function
+  | Cond.T_conj ts -> List.concat_map atoms ts
+  | t -> [ t ]
+
+let rel_holds rel v c = Cond.eval_relation rel v c
+
+(* Contradictory numeric bounds: fold Gt/Ge/Lt/Le constant operands into
+   an interval and check it is non-empty. *)
+let bounds_empty tests =
+  let lo = ref neg_infinity and lo_strict = ref false in
+  let hi = ref infinity and hi_strict = ref false in
+  List.iter
+    (fun t ->
+      match t with
+      | Cond.T_rel (rel, Cond.Oconst c) -> (
+        match Value.numeric c with
+        | None -> ()
+        | Some x -> (
+          match rel with
+          | Cond.Gt ->
+            if x > !lo || (x = !lo && not !lo_strict) then begin
+              lo := x;
+              lo_strict := true
+            end
+          | Cond.Ge -> if x > !lo then lo := x
+          | Cond.Lt ->
+            if x < !hi || (x = !hi && not !hi_strict) then begin
+              hi := x;
+              hi_strict := true
+            end
+          | Cond.Le -> if x < !hi then hi := x
+          | Cond.Eq | Cond.Ne -> ()))
+      | _ -> ())
+    tests;
+  !lo > !hi || (!lo = !hi && (!lo_strict || !hi_strict))
+
+let field_unsat tests =
+  let consts =
+    List.filter_map (function
+      | Cond.T_const v -> Some v
+      | Cond.T_rel (Cond.Eq, Cond.Oconst v) -> Some v
+      | _ -> None)
+      tests
+  in
+  let disjs =
+    List.filter_map (function Cond.T_disj vs -> Some vs | _ -> None) tests
+  in
+  let const_clash =
+    match consts with
+    | v :: rest -> List.exists (fun v' -> not (Value.equal v v')) rest
+    | [] -> false
+  in
+  let const_vs_disj =
+    match consts with
+    | v :: _ -> List.exists (fun vs -> not (List.exists (Value.equal v) vs)) disjs
+    | [] -> false
+  in
+  let empty_disj = List.exists (fun vs -> vs = []) disjs in
+  let disjoint_disjs =
+    match disjs with
+    | a :: rest ->
+      List.exists
+        (fun b -> not (List.exists (fun v -> List.exists (Value.equal v) b) a))
+        rest
+    | [] -> false
+  in
+  let const_vs_pred =
+    match consts with
+    | v :: _ ->
+      List.exists
+        (function
+          | Cond.T_rel (rel, Cond.Oconst c) -> not (rel_holds rel v c)
+          | _ -> false)
+        tests
+    | [] -> false
+  in
+  const_clash || const_vs_disj || empty_disj || disjoint_disjs || const_vs_pred
+  || bounds_empty tests
+
+let ce_unsat (ce : Cond.ce) =
+  (* group tests by field *)
+  let by_field = Hashtbl.create 8 in
+  List.iter
+    (fun (f, t) ->
+      Hashtbl.replace by_field f
+        (atoms t @ Option.value ~default:[] (Hashtbl.find_opt by_field f)))
+    ce.Cond.tests;
+  Hashtbl.fold (fun _ tests acc -> acc || field_unsat tests) by_field false
+
+(* ------------------------------------------------------------------ *)
+(* Variable accounting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec test_vars = function
+  | Cond.T_const _ | Cond.T_disj _ | Cond.T_rel (_, Cond.Oconst _) -> []
+  | Cond.T_var v | Cond.T_rel (_, Cond.Ovar v) -> [ v ]
+  | Cond.T_conj ts -> List.concat_map test_vars ts
+
+let ce_var_occurrences (ce : Cond.ce) =
+  List.concat_map (fun (_, t) -> test_vars t) ce.Cond.tests
+
+let rec cond_var_occurrences = function
+  | Cond.Pos ce | Cond.Neg ce -> ce_var_occurrences ce
+  | Cond.Ncc cs -> List.concat_map cond_var_occurrences cs
+
+let var_occurrences (p : Production.t) =
+  List.concat_map cond_var_occurrences p.Production.lhs
+  @ List.concat_map Action.vars p.Production.rhs
+
+(* ------------------------------------------------------------------ *)
+(* Schema checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let schema_findings schema pname (p : Production.t) =
+  let fs = ref [] in
+  let check_ce (ce : Cond.ce) =
+    if not (Schema.declared schema ce.Cond.cls) then
+      fs :=
+        Finding.error ~rule:"undeclared-class" ~subject:pname
+          (Printf.sprintf "condition names undeclared class %s"
+             (Sym.name ce.Cond.cls))
+        :: !fs
+    else
+      let arity = Schema.arity schema ce.Cond.cls in
+      List.iter
+        (fun (f, _) ->
+          if f < 0 || f >= arity then
+            fs :=
+              Finding.error ~rule:"bad-field" ~subject:pname
+                (Printf.sprintf "field %d is out of range for class %s" f
+                   (Sym.name ce.Cond.cls))
+              :: !fs)
+        ce.Cond.tests
+  in
+  let rec walk = function
+    | Cond.Pos ce | Cond.Neg ce -> check_ce ce
+    | Cond.Ncc cs -> List.iter walk cs
+  in
+  List.iter walk p.Production.lhs;
+  let check_fields cls fields what =
+    if not (Schema.declared schema cls) then
+      fs :=
+        Finding.error ~rule:"undeclared-class" ~subject:pname
+          (Printf.sprintf "%s names undeclared class %s" what (Sym.name cls))
+        :: !fs
+    else
+      let arity = Schema.arity schema cls in
+      List.iter
+        (fun (f, _) ->
+          if f < 0 || f >= arity then
+            fs :=
+              Finding.error ~rule:"bad-field" ~subject:pname
+                (Printf.sprintf "%s field %d is out of range for class %s" what
+                   f (Sym.name cls))
+              :: !fs)
+        fields
+  in
+  List.iter
+    (function
+      | Action.Make (cls, fields) -> check_fields cls fields "make"
+      | Action.Modify (i, fields) -> (
+        match Production.positive_ce p i with
+        | ce -> check_fields ce.Cond.cls fields "modify"
+        | exception _ -> ())
+      | Action.Remove _ | Action.Write _ | Action.Halt -> ())
+    p.Production.rhs;
+  !fs
+
+(* ------------------------------------------------------------------ *)
+(* Per-production rules                                                *)
+(* ------------------------------------------------------------------ *)
+
+let production schema (p : Production.t) =
+  let pname = Sym.name p.Production.name in
+  let fs = ref (schema_findings schema pname p) in
+  let add f = fs := f :: !fs in
+  (* unused variables: one occurrence total means the binding is never
+     consulted (an unbound use would have been rejected at [make]) *)
+  let occs = var_occurrences p in
+  let freq = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace freq v (1 + Option.value ~default:0 (Hashtbl.find_opt freq v)))
+    occs;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        if Hashtbl.find freq v = 1 then
+          add
+            (Finding.warning ~rule:"unused-variable" ~subject:pname
+               (Printf.sprintf "variable <%s> is bound but never used" v))
+      end)
+    occs;
+  (* unlinked positive CEs: cross-products *)
+  let prev_vars = Hashtbl.create 16 in
+  List.iteri
+    (fun i c ->
+      match c with
+      | Cond.Pos ce ->
+        let vars = ce_var_occurrences ce in
+        if
+          i > 0 && vars <> []
+          && not (List.exists (Hashtbl.mem prev_vars) vars)
+        then
+          add
+            (Finding.warning ~rule:"unlinked-ce" ~subject:pname
+               (Printf.sprintf
+                  "condition %d shares no variable with any earlier positive \
+                   condition (cross-product join)"
+                  (i + 1)));
+        List.iter (fun v -> Hashtbl.replace prev_vars v ()) vars
+      | Cond.Neg _ | Cond.Ncc _ -> ())
+    p.Production.lhs;
+  (* unsatisfiable CEs *)
+  let rec walk_unsat path = function
+    | Cond.Pos ce | Cond.Neg ce ->
+      if ce_unsat ce then
+        add
+          (Finding.error ~rule:"unsatisfiable-ce" ~subject:pname
+             (Printf.sprintf
+                "condition %s on class %s has contradictory tests and can \
+                 never match"
+                path (Sym.name ce.Cond.cls)))
+    | Cond.Ncc cs ->
+      List.iteri (fun j c -> walk_unsat (path ^ "." ^ string_of_int (j + 1)) c) cs
+  in
+  List.iteri
+    (fun i c -> walk_unsat (string_of_int (i + 1)) c)
+    p.Production.lhs;
+  (* duplicate CEs and self-blocking negations (top level) *)
+  let rec dups = function
+    | [] -> ()
+    | c :: rest ->
+      (match c with
+      | Cond.Pos ce ->
+        if List.exists (fun c' -> c' = Cond.Pos ce) rest then
+          add
+            (Finding.warning ~rule:"duplicate-ce" ~subject:pname
+               (Printf.sprintf "positive condition on %s appears twice"
+                  (Sym.name ce.Cond.cls)));
+        if List.exists (fun c' -> c' = Cond.Neg ce) rest then
+          add
+            (Finding.error ~rule:"unsatisfiable-production" ~subject:pname
+               (Printf.sprintf
+                  "condition on %s is both required and negated: its own \
+                   match always blocks it"
+                  (Sym.name ce.Cond.cls)))
+      | Cond.Neg ce ->
+        if List.exists (fun c' -> c' = Cond.Neg ce) rest then
+          add
+            (Finding.warning ~rule:"duplicate-ce" ~subject:pname
+               (Printf.sprintf "negated condition on %s appears twice"
+                  (Sym.name ce.Cond.cls)));
+        if List.exists (fun c' -> c' = Cond.Pos ce) rest then
+          add
+            (Finding.error ~rule:"unsatisfiable-production" ~subject:pname
+               (Printf.sprintf
+                  "condition on %s is both required and negated: its own \
+                   match always blocks it"
+                  (Sym.name ce.Cond.cls)))
+      | Cond.Ncc _ -> ());
+      dups rest
+  in
+  dups p.Production.lhs;
+  (* no-op modify *)
+  List.iter
+    (function
+      | Action.Modify (i, []) ->
+        add
+          (Finding.warning ~rule:"no-op-modify" ~subject:pname
+             (Printf.sprintf "modify of condition %d changes nothing" i))
+      | _ -> ())
+    p.Production.rhs;
+  List.rev !fs
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas and whole programs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pragmas_of_source src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         let prefix = "; lint: allow " in
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           let rest =
+             String.sub line (String.length prefix)
+               (String.length line - String.length prefix)
+           in
+           match String.split_on_char ' ' (String.trim rest) with
+           | [ rule ] -> Some (rule, None)
+           | rule :: prod :: _ -> Some (rule, Some prod)
+           | [] -> None
+         else None)
+
+let source schema src =
+  let pragmas = pragmas_of_source src in
+  let suppressed (f : Finding.finding) =
+    List.exists
+      (fun (rule, prod) ->
+        rule = f.Finding.rule
+        && match prod with None -> true | Some p -> p = f.Finding.subject)
+      pragmas
+  in
+  let prods =
+    List.filter_map
+      (function Parser.Prod p -> Some p | Parser.Literalize _ -> None)
+      (Parser.parse_program schema src)
+  in
+  let fs = ref [] in
+  List.iter (fun p -> fs := !fs @ production schema p) prods;
+  (* duplicate productions across the program *)
+  let rec dup_prods = function
+    | [] -> ()
+    | (p : Production.t) :: rest ->
+      List.iter
+        (fun (p' : Production.t) ->
+          if
+            p.Production.lhs = p'.Production.lhs
+            && p.Production.rhs = p'.Production.rhs
+          then
+            fs :=
+              !fs
+              @ [
+                  Finding.warning ~rule:"duplicate-production"
+                    ~subject:(Sym.name p'.Production.name)
+                    (Printf.sprintf "identical to production %s"
+                       (Sym.name p.Production.name));
+                ])
+        rest;
+      dup_prods rest
+  in
+  dup_prods prods;
+  let kept, dropped = List.partition (fun f -> not (suppressed f)) !fs in
+  Finding.report ~checked:(List.length prods) ~suppressed:(List.length dropped)
+    kept

@@ -1,0 +1,41 @@
+(** Schema-aware OPS5/Soar production linter.
+
+    Rules (stable names, usable in pragmas):
+
+    - [undeclared-class] (error) — a CE or [make] names a class absent
+      from the schema;
+    - [bad-field] (error) — a field index beyond the class arity;
+    - [unsatisfiable-ce] (error) — a CE whose per-field constraints are
+      contradictory (two different constants, a constant outside a
+      disjunction, an empty disjunction, disjoint disjunctions, a
+      constant failing a constant predicate, or contradictory numeric
+      bounds): the production can never fire;
+    - [unsatisfiable-production] (error) — a positive CE repeated
+      verbatim as a top-level negation: its own match always blocks it;
+    - [unused-variable] (warning) — a variable bound once and never
+      consulted again (tests, negations, RHS);
+    - [unlinked-ce] (warning) — a positive CE sharing no variable with
+      any earlier positive CE: every pairing matches, a cross-product
+      (the paper's null-memory blowup);
+    - [duplicate-ce] (warning) — the same CE twice with the same sign;
+    - [duplicate-production] (warning) — two productions with identical
+      conditions and actions under different names;
+    - [no-op-modify] (warning) — a [modify] that changes nothing.
+
+    {b Pragmas.} A source comment of the form
+    [; lint: allow <rule> [<production>]] suppresses the rule, for the
+    named production or file-wide; suppressed findings are counted in
+    the report. *)
+
+open Psme_ops5
+
+val production : Schema.t -> Production.t -> Finding.finding list
+(** Per-production rules only (no cross-production or pragma logic). *)
+
+val source : Schema.t -> string -> Finding.report
+(** Parse a program (applying [literalize] forms to the schema), lint
+    every production, apply cross-production rules and pragmas. Raises
+    {!Parser.Parse_error} as the parser does. *)
+
+val pragmas_of_source : string -> (string * string option) list
+(** [(rule, production)] pairs; [None] = file-wide. *)

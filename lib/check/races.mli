@@ -1,0 +1,56 @@
+(** Happens-before / lockset race detector over match traces.
+
+    Consumes a captured event stream ({!Psme_obs.Trace}) and replays it
+    per elaboration cycle (task serials restart each episode; cycles are
+    barrier-separated, so no race crosses one):
+
+    - {b happens-before}: vector clocks, one component per (virtual)
+      processor, advanced at every [Task_start]/[Task_end] and joined
+      across the task-spawn edges ([parent] completes before a child
+      starts) — the queue push/pop order the engines already obey;
+    - {b locksets}, Eraser-style but specialized: every memory access
+      carries its hash line, and the line lock is the only lock the
+      §6.1 scheme prescribes — two accesses to the same line are
+      protected exactly when both held the line lock.
+
+    A {e race} is a pair of accesses to the same hash line, from
+    different tasks, at least one a write, unordered by happens-before
+    and not both holding the line lock. Against a correctly locked
+    engine the lockset check discharges every concurrent pair, so clean
+    runs cost one pass; under {!Psme_rete.Runtime.set_lock_elision} the
+    unordered pairs surface.
+
+    The detector also flags a task popped twice from the task queues in
+    one cycle — the symptom of an unlocked queue. *)
+
+open Psme_obs
+
+type race = {
+  r_cycle : int;
+  r_line : int;  (** the contended hash line (lock granule) *)
+  r_node1 : int;
+  r_task1 : int;
+  r_proc1 : int;
+  r_locked1 : bool;
+  r_node2 : int;
+  r_task2 : int;
+  r_proc2 : int;
+  r_locked2 : bool;
+}
+
+type report = {
+  races : race list;  (** at most [max_reports], in discovery order *)
+  n_races : int;  (** total racy pairs found *)
+  n_accesses : int;
+  n_unlocked : int;
+  n_tasks : int;
+  n_cycles : int;
+  double_pops : (int * int) list;  (** (cycle, task serial) popped twice *)
+}
+
+val analyze : ?max_reports:int -> Trace.event array -> report
+(** [max_reports] caps the retained [races] list (default 20); counting
+    continues past the cap. *)
+
+val to_findings : report -> Finding.report
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,22 @@
+type t = int array
+
+let create n = Array.make (max 1 n) 0
+let copy = Array.copy
+let incr t i = t.(i) <- t.(i) + 1
+
+let join a b =
+  for i = 0 to Array.length a - 1 do
+    if b.(i) > a.(i) then a.(i) <- b.(i)
+  done
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let get t i = t.(i)
+let dim = Array.length
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t)))

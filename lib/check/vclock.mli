@@ -1,0 +1,24 @@
+(** Vector clocks over a fixed set of processes.
+
+    The race detector builds one component per (virtual) processor; the
+    happens-before order of two tasks is the componentwise order of the
+    spawning task's completion clock and the spawned task's start
+    clock. *)
+
+type t
+
+val create : int -> t
+(** All components zero. *)
+
+val copy : t -> t
+val incr : t -> int -> unit
+val join : t -> t -> unit
+(** [join a b] sets [a] to the componentwise maximum of [a] and [b]. *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]: [leq a b] means every event [a] has seen, [b]
+    has seen too — i.e. [a] happens-before-or-equals [b]. *)
+
+val get : t -> int -> int
+val dim : t -> int
+val pp : Format.formatter -> t -> unit

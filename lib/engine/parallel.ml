@@ -114,7 +114,9 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
             Trace.emit tr Trace.Task_end ~t_us:end_us ~proc:me ~node ~task:id
               ~parent
               ~dur_us:(Float.max 0.001 (end_us -. start_us))
-              ~scanned:o.Runtime.scanned ~emitted:nkids ()
+              ~scanned:o.Runtime.scanned ~emitted:nkids ();
+            Trace_emit.mem_accesses tr ~t_us:end_us ~proc:me ~task:id
+              o.Runtime.accesses
           | None -> ());
           List.iter
             (fun k ->

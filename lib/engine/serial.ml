@@ -40,7 +40,9 @@ let run_tasks ?(cost = Cost.default) ?tracer net seed =
       | Some tr ->
         Trace.emit tr Trace.Task_end ~t_us:(!serial_us +. c) ~proc:0 ~node
           ~task:id ~parent ~dur_us:c ~scanned:o.Runtime.scanned ~emitted:nkids
-          ()
+          ();
+        Trace_emit.mem_accesses tr ~t_us:(!serial_us +. c) ~proc:0 ~task:id
+          o.Runtime.accesses
       | None -> ());
       serial_us := !serial_us +. c;
       scanned := !scanned + o.Runtime.scanned;
@@ -98,7 +100,9 @@ let run_changes_async ?(cost = Cost.default) ?tracer net ~on_inst changes =
       | Some tr ->
         Trace.emit tr Trace.Task_end ~t_us:(!serial_us +. c) ~proc:0 ~node
           ~task:id ~parent ~dur_us:c ~scanned:o.Runtime.scanned ~emitted:nkids
-          ()
+          ();
+        Trace_emit.mem_accesses tr ~t_us:(!serial_us +. c) ~proc:0 ~task:id
+          o.Runtime.accesses
       | None -> ());
       serial_us := !serial_us +. c;
       scanned := !scanned + o.Runtime.scanned;

@@ -164,7 +164,9 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
               | Some tr ->
                 Trace.emit tr Trace.Task_end ~t_us:(t +. c) ~proc ~node
                   ~task:id ~parent ~dur_us:c ~scanned:o.Runtime.scanned
-                  ~emitted:nkids ()
+                  ~emitted:nkids ();
+                Trace_emit.mem_accesses tr ~t_us:(t +. c) ~proc ~task:id
+                  o.Runtime.accesses
               | None -> ());
               (* asynchronous elaboration: fire newly added
                  instantiations now; their wme changes are injected by

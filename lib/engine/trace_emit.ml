@@ -1,0 +1,13 @@
+open Psme_obs
+open Psme_rete
+
+let mem_accesses tr ~t_us ~proc ~task accesses =
+  List.iter
+    (fun (a : Runtime.access) ->
+      Trace.emit tr Trace.Mem_access ~t_us ~proc ~node:a.Runtime.acc_node
+        ~task ~scanned:a.Runtime.acc_line
+        ~emitted:
+          (Stream.access_bits ~write:a.Runtime.acc_write
+             ~locked:a.Runtime.acc_locked)
+        ())
+    accesses

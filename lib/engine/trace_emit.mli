@@ -1,0 +1,9 @@
+(** Shared tracer-emission helpers for the engines. *)
+
+open Psme_obs
+open Psme_rete
+
+val mem_accesses :
+  Trace.t -> t_us:float -> proc:int -> task:int -> Runtime.access list -> unit
+(** Emit one [Mem_access] event per critical section a task performed,
+    using the field-reuse convention of {!Psme_obs.Stream}. *)

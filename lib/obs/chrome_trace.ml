@@ -96,7 +96,8 @@ let to_buffer ?(node_name = fun id -> Printf.sprintf "node%d" id)
       | Chunk_update ->
         emit_event buf ~first ~name:"chunk-update" ~cat:"chunk" ~ph:"i"
           ~ts:e.t_us ~tid:cycles_tid
-          [ ("chunks", Json.Int e.emitted) ])
+          [ ("chunks", Json.Int e.emitted) ]
+      | Mem_access -> ()  (* race-detector bookkeeping, not a visual span *))
     events;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 

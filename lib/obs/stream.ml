@@ -1,0 +1,50 @@
+type mem_access = {
+  ma_time : float;
+  ma_proc : int;
+  ma_task : int;
+  ma_node : int;
+  ma_line : int;
+  ma_cycle : int;
+  ma_write : bool;
+  ma_locked : bool;
+}
+
+let access_bits ~write ~locked =
+  (if write then 1 else 0) lor if locked then 2 else 0
+
+let mem_access_of_event (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Mem_access ->
+    Some
+      {
+        ma_time = e.t_us;
+        ma_proc = e.proc;
+        ma_task = e.task;
+        ma_node = e.node;
+        ma_line = e.scanned;
+        ma_cycle = e.cycle;
+        ma_write = e.emitted land 1 <> 0;
+        ma_locked = e.emitted land 2 <> 0;
+      }
+  | _ -> None
+
+let mem_accesses events =
+  Array.to_list events |> List.filter_map mem_access_of_event
+
+let by_cycle (events : Trace.event array) =
+  let tbl : (int, Trace.event list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Trace.event) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl e.Trace.cycle) in
+      Hashtbl.replace tbl e.Trace.cycle (e :: prev))
+    events;
+  Hashtbl.fold (fun c evs acc -> (c, Array.of_list (List.rev evs)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let iter_kind kind f events =
+  Array.iter (fun (e : Trace.event) -> if e.Trace.kind = kind then f e) events
+
+let procs (events : Trace.event array) =
+  let seen = Hashtbl.create 8 in
+  Array.iter (fun (e : Trace.event) -> Hashtbl.replace seen e.Trace.proc ()) events;
+  Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare

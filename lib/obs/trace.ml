@@ -10,6 +10,7 @@ type kind =
   | Cycle_end
   | Chunk_add
   | Chunk_update
+  | Mem_access
 
 let kind_name = function
   | Task_start -> "task-start"
@@ -23,6 +24,7 @@ let kind_name = function
   | Cycle_end -> "cycle-end"
   | Chunk_add -> "chunk-add"
   | Chunk_update -> "chunk-update"
+  | Mem_access -> "mem-access"
 
 let kind_to_int = function
   | Task_start -> 0
@@ -36,6 +38,7 @@ let kind_to_int = function
   | Cycle_end -> 8
   | Chunk_add -> 9
   | Chunk_update -> 10
+  | Mem_access -> 11
 
 let kind_of_int = function
   | 0 -> Task_start
@@ -49,6 +52,7 @@ let kind_of_int = function
   | 8 -> Cycle_end
   | 9 -> Chunk_add
   | 10 -> Chunk_update
+  | 11 -> Mem_access
   | _ -> invalid_arg "Trace.kind_of_int"
 
 type event = {

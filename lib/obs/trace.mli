@@ -30,6 +30,11 @@ type kind =
   | Cycle_end  (** [dur_us] = makespan; [scanned] = tasks executed *)
   | Chunk_add  (** [node] = new P-node; [emitted] = new beta nodes *)
   | Chunk_update  (** [emitted] = chunks updated in this batch *)
+  | Mem_access
+      (** one line-lock critical section against the global hashed
+          memories (§6.1): [node] = owning beta node, [task] = the serial
+          of the task that performed it, [scanned] = hash-line index,
+          [emitted] = flag bits (see {!Stream.access_bits}) *)
 
 val kind_name : kind -> string
 

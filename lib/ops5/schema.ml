@@ -43,6 +43,8 @@ let field_index t cls attr =
 
 let attr_name t cls i = (info t cls).attrs.(i)
 
+let attributes t cls = Array.to_list (info t cls).attrs
+
 let classes t = List.rev t.order
 
 let copy t =

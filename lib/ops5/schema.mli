@@ -29,6 +29,10 @@ val field_index : t -> Sym.t -> Sym.t -> int
 val attr_name : t -> Sym.t -> int -> Sym.t
 (** Inverse of {!field_index}. *)
 
+val attributes : t -> Sym.t -> Sym.t list
+(** All attributes of a class, in field order. Raises [Not_found] if the
+    class is undeclared. *)
+
 val classes : t -> Sym.t list
 (** All declared classes, in declaration order. *)
 

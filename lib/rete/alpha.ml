@@ -122,5 +122,10 @@ let matching_amems t w f =
   !count
 
 let successors t ~amem = List.rev (Hashtbl.find t.mems amem).succs
+
+let amems t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.mems [] |> List.sort compare
+
+let amem_exists t amem = Hashtbl.mem t.mems amem
 let node_count t = t.n_nodes
 let stats_activations t = t.activations

@@ -48,6 +48,11 @@ val matching_amems : t -> Wme.t -> (int -> unit) -> int
 val successors : t -> amem:int -> int list
 (** Beta nodes fed by this alpha memory, in registration order. *)
 
+val amems : t -> int list
+(** All alpha-memory ids, ascending (analysis hook). *)
+
+val amem_exists : t -> int -> bool
+
 val node_count : t -> int
 (** Constant-test nodes + alpha memories currently in the network. *)
 

@@ -245,6 +245,25 @@ let iter_node_right t ~node f =
             line.right))
     t.lines
 
+let fold_left_entries t ~init ~f =
+  Array.fold_left
+    (fun acc line ->
+      Mutex.protect line.lock (fun () ->
+          Vec.fold
+            (fun acc item -> f acc ~node:item.ln ~khash:item.lkh item.entry)
+            acc line.left))
+    init t.lines
+
+let fold_right_entries t ~init ~f =
+  Array.fold_left
+    (fun acc line ->
+      Mutex.protect line.lock (fun () ->
+          Vec.fold
+            (fun acc item ->
+              f acc ~node:item.rn ~khash:item.rkh ~refs:item.r_refs item.payload)
+            acc line.right))
+    init t.lines
+
 let reset_cycle_stats t =
   Array.iter
     (fun line ->

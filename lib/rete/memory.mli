@@ -85,6 +85,19 @@ val iter_node_left : t -> node:int -> (left_entry -> unit) -> unit
 
 val iter_node_right : t -> node:int -> (right_payload -> unit) -> unit
 
+val fold_left_entries :
+  t -> init:'a -> f:('a -> node:int -> khash:int -> left_entry -> 'a) -> 'a
+(** Fold over {e every} left entry across all lines — including
+    tombstones ([l_refs <= 0]) — taking each line's lock. The state
+    verifier's snapshot hook: at quiescence the visible entries are
+    exactly the node memories' contents. *)
+
+val fold_right_entries :
+  t ->
+  init:'a ->
+  f:('a -> node:int -> khash:int -> refs:int -> right_payload -> 'a) ->
+  'a
+
 (** {2 Instrumentation} *)
 
 val reset_cycle_stats : t -> unit

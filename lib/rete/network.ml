@@ -115,6 +115,12 @@ let add_node t ~kind ~parent ~alpha_src =
   n
 
 let node t id = Hashtbl.find t.beta id
+let node_opt t id = Hashtbl.find_opt t.beta id
+
+let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.beta
+
+let fold_nodes t ~init ~f = Hashtbl.fold (fun _ n acc -> f acc n) t.beta init
+
 let successors n = List.rev n.succs_rev
 
 let add_successor t ~of_ ~node:nid ~port =

@@ -106,6 +106,13 @@ val alloc_id : t -> int
 val add_node :
   t -> kind:kind -> parent:int option -> alpha_src:int option -> node
 val node : t -> int -> node
+val node_opt : t -> int -> node option
+
+val iter_nodes : t -> (node -> unit) -> unit
+(** Visit every beta node, in no particular order (analysis hook). *)
+
+val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
 val successors : node -> (int * port) list
 (** In registration order. *)
 

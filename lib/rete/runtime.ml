@@ -1,14 +1,36 @@
 open Psme_ops5
 open Network
 
+type access = {
+  acc_node : int;
+  acc_line : int;
+  acc_write : bool;
+  acc_locked : bool;
+}
+
 type outcome = {
   children : Task.t list;
   scanned : int;
   matched : int;
   insts : (Task.flag * Conflict_set.inst) list;
+  accesses : access list;
 }
 
-let no_children = { children = []; scanned = 0; matched = 0; insts = [] }
+let no_children =
+  { children = []; scanned = 0; matched = 0; insts = []; accesses = [] }
+
+(* Fault-injection hook for the race detector's self-test: when set, exec
+   sections run WITHOUT taking the line lock (and report their accesses as
+   unlocked). Never enable outside analysis tests. *)
+let elide = ref false
+let set_lock_elision b = elide := b
+let lock_elision () = !elide
+
+let with_line net ~line f =
+  if !elide then f () else Memory.locked net.mem ~line f
+
+let access ~node ~line =
+  { acc_node = node; acc_line = line; acc_write = true; acc_locked = not !elide }
 
 let emit n flag token =
   List.rev_map
@@ -27,26 +49,29 @@ let emit_all n flag tokens =
 let exec_entry net n (flag : Task.flag) w =
   let kh = khash_entry n w in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let transitioned =
-    Memory.locked net.mem ~line (fun () ->
+    with_line net ~line (fun () ->
         match flag with
         | Task.Add -> Memory.right_add net.mem ~node:n.id ~khash:kh (Memory.R_wme w)
         | Task.Delete -> Memory.right_remove net.mem ~node:n.id ~khash:kh (Memory.R_wme w))
   in
-  if not transitioned then no_children
+  if not transitioned then { no_children with accesses = [ acc ] }
   else
     let tok = Token.singleton w in
-    { children = emit n flag tok; scanned = 0; matched = 1; insts = [] }
+    { children = emit n flag tok; scanned = 0; matched = 1; insts = [];
+      accesses = [ acc ] }
 
 (* --- join ----------------------------------------------------------- *)
 
 let exec_join_left net n ti (flag : Task.flag) token =
   let kh = khash_left n token in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let matches = ref [] in
   let scanned = ref 0 in
   let live =
-    Memory.locked net.mem ~line (fun () ->
+    with_line net ~line (fun () ->
         let live =
           match flag with
           | Task.Add -> (
@@ -66,19 +91,20 @@ let exec_join_left net n ti (flag : Task.flag) token =
                 | Memory.R_tok _ -> ());
         live)
   in
-  if not live then no_children
+  if not live then { no_children with accesses = [ acc ] }
   else
     let tokens = List.rev_map (fun w -> Token.extend token w) !matches in
     { children = emit_all n flag tokens; scanned = !scanned; matched = List.length tokens;
-      insts = [] }
+      insts = []; accesses = [ acc ] }
 
 let exec_join_right net n ti (flag : Task.flag) w =
   let kh = khash_right n w in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let matches = ref [] in
   let scanned = ref 0 in
   let live =
-    Memory.locked net.mem ~line (fun () ->
+    with_line net ~line (fun () ->
         let live =
           match flag with
           | Task.Add -> Memory.right_add net.mem ~node:n.id ~khash:kh (Memory.R_wme w)
@@ -90,20 +116,21 @@ let exec_join_right net n ti (flag : Task.flag) w =
                 if jtests_hold ti e.Memory.l_token w then matches := e.Memory.l_token :: !matches);
         live)
   in
-  if not live then no_children
+  if not live then { no_children with accesses = [ acc ] }
   else
     let tokens = List.rev_map (fun tok -> Token.extend tok w) !matches in
     { children = emit_all n flag tokens; scanned = !scanned; matched = List.length tokens;
-      insts = [] }
+      insts = []; accesses = [ acc ] }
 
 (* --- negative ------------------------------------------------------- *)
 
 let exec_neg_left net n ti (flag : Task.flag) token =
   let kh = khash_left n token in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let pass = ref false in
   let scanned = ref 0 in
-  Memory.locked net.mem ~line (fun () ->
+  with_line net ~line (fun () ->
       match flag with
       | Task.Add ->
         let count = ref 0 in
@@ -119,15 +146,18 @@ let exec_neg_left net n ti (flag : Task.flag) token =
         match Memory.left_remove net.mem ~node:n.id ~khash:kh token with
         | `Deactivated e -> pass := e.Memory.l_count = 0
         | `Inert -> ()));
-  if !pass then { children = emit n flag token; scanned = !scanned; matched = 1; insts = [] }
-  else { no_children with scanned = !scanned }
+  if !pass then
+    { children = emit n flag token; scanned = !scanned; matched = 1; insts = [];
+      accesses = [ acc ] }
+  else { no_children with scanned = !scanned; accesses = [ acc ] }
 
 let exec_neg_right net n ti (flag : Task.flag) w =
   let kh = khash_right n w in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let transitions = ref [] in
   let scanned = ref 0 in
-  Memory.locked net.mem ~line (fun () ->
+  with_line net ~line (fun () ->
       match flag with
       | Task.Add ->
         if Memory.right_add net.mem ~node:n.id ~khash:kh (Memory.R_wme w) then
@@ -150,7 +180,8 @@ let exec_neg_right net n ti (flag : Task.flag) w =
   let children =
     List.concat_map (fun (fl, tok) -> emit n fl tok) (List.rev !transitions)
   in
-  { children; scanned = !scanned; matched = List.length !transitions; insts = [] }
+  { children; scanned = !scanned; matched = List.length !transitions; insts = [];
+    accesses = [ acc ] }
 
 (* --- NCC ------------------------------------------------------------- *)
 
@@ -158,9 +189,10 @@ let exec_ncc_left net n prefix_len (flag : Task.flag) token =
   ignore prefix_len;
   let kh = khash_ncc_left n token in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let pass = ref false in
   let scanned = ref 0 in
-  Memory.locked net.mem ~line (fun () ->
+  with_line net ~line (fun () ->
       match flag with
       | Task.Add ->
         let count = ref 0 in
@@ -177,17 +209,20 @@ let exec_ncc_left net n prefix_len (flag : Task.flag) token =
         match Memory.left_remove net.mem ~node:n.id ~khash:kh token with
         | `Deactivated e -> pass := e.Memory.l_count = 0
         | `Inert -> ()));
-  if !pass then { children = emit n flag token; scanned = !scanned; matched = 1; insts = [] }
-  else { no_children with scanned = !scanned }
+  if !pass then
+    { children = emit n flag token; scanned = !scanned; matched = 1; insts = [];
+      accesses = [ acc ] }
+  else { no_children with scanned = !scanned; accesses = [ acc ] }
 
 let exec_ncc_partner net n ~ncc ~prefix_len (flag : Task.flag) subtok =
   let ncc_node = node net ncc in
   let prefix = Token.prefix subtok prefix_len in
   let kh = khash_ncc_right n subtok in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:ncc ~line in
   let transitions = ref [] in
   let scanned = ref 0 in
-  Memory.locked net.mem ~line (fun () ->
+  with_line net ~line (fun () ->
       match flag with
       | Task.Add ->
         if Memory.right_add net.mem ~node:ncc ~khash:kh (Memory.R_tok subtok) then
@@ -210,17 +245,19 @@ let exec_ncc_partner net n ~ncc ~prefix_len (flag : Task.flag) subtok =
   let children =
     List.concat_map (fun (fl, tok) -> emit ncc_node fl tok) (List.rev !transitions)
   in
-  { children; scanned = !scanned; matched = List.length !transitions; insts = [] }
+  { children; scanned = !scanned; matched = List.length !transitions; insts = [];
+    accesses = [ acc ] }
 
 (* --- binary join (bilinear networks) --------------------------------- *)
 
 let exec_bjoin_left net n bi (flag : Task.flag) token =
   let kh = khash_bjoin_left n token in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let matches = ref [] in
   let scanned = ref 0 in
   let live =
-    Memory.locked net.mem ~line (fun () ->
+    with_line net ~line (fun () ->
         let live =
           match flag with
           | Task.Add -> (
@@ -240,21 +277,22 @@ let exec_bjoin_left net n bi (flag : Task.flag) token =
                 | Memory.R_wme _ -> ());
         live)
   in
-  if not live then no_children
+  if not live then { no_children with accesses = [ acc ] }
   else
     let tokens =
       List.rev_map (fun rt -> Token.concat token (Token.suffix rt bi.right_drop)) !matches
     in
     { children = emit_all n flag tokens; scanned = !scanned; matched = List.length tokens;
-      insts = [] }
+      insts = []; accesses = [ acc ] }
 
 let exec_bjoin_right net n bi (flag : Task.flag) rtok =
   let kh = khash_bjoin_right n rtok in
   let line = Memory.line_of net.mem ~khash:kh in
+  let acc = access ~node:n.id ~line in
   let matches = ref [] in
   let scanned = ref 0 in
   let live =
-    Memory.locked net.mem ~line (fun () ->
+    with_line net ~line (fun () ->
         let live =
           match flag with
           | Task.Add -> Memory.right_add net.mem ~node:n.id ~khash:kh (Memory.R_tok rtok)
@@ -267,13 +305,13 @@ let exec_bjoin_right net n bi (flag : Task.flag) rtok =
                   matches := e.Memory.l_token :: !matches);
         live)
   in
-  if not live then no_children
+  if not live then { no_children with accesses = [ acc ] }
   else
     let tokens =
       List.rev_map (fun lt -> Token.concat lt (Token.suffix rtok bi.right_drop)) !matches
     in
     { children = emit_all n flag tokens; scanned = !scanned; matched = List.length tokens;
-      insts = [] }
+      insts = []; accesses = [ acc ] }
 
 (* --- P-node ----------------------------------------------------------- *)
 

@@ -10,6 +10,16 @@
 
 open Psme_ops5
 
+type access = {
+  acc_node : int;   (** beta node owning the memory entries touched *)
+  acc_line : int;   (** hash line (lock granule, §6.1) *)
+  acc_write : bool; (** every exec section mutates (insert-then-probe) *)
+  acc_locked : bool;  (** false only under {!set_lock_elision} *)
+}
+(** One critical section performed against the global hashed memories.
+    Engines forward these to the trace as [Mem_access] events; the race
+    detector replays them against the happens-before order. *)
+
 type outcome = {
   children : Task.t list;
   scanned : int;  (** opposite-memory entries scanned under the lock *)
@@ -18,9 +28,18 @@ type outcome = {
       (** conflict-set transitions performed (P-node activations only) —
           engines running asynchronous elaboration fire these without
           waiting for quiescence (paper §7) *)
+  accesses : access list;
+      (** line-lock sections this task performed (empty for P-nodes) *)
 }
 
 val exec : Network.t -> Task.t -> outcome
+
+val set_lock_elision : bool -> unit
+(** Fault injection for the race detector's self-test: when enabled, exec
+    critical sections skip the line lock and report their accesses with
+    [acc_locked = false]. Process-wide; reset to [false] after use. *)
+
+val lock_elision : unit -> bool
 
 val seed_wme_change :
   ?min_node_id:int -> Network.t -> Task.flag -> Wme.t -> Task.t list * int

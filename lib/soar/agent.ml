@@ -719,3 +719,15 @@ let run t =
 
 let learned_productions t =
   List.rev_map (fun ci -> ci.ci_prod) t.chunks_rev
+
+(* A [(halt)] fired mid-phase leaves wme changes buffered in [pending]:
+   working memory already holds them but the match network never saw
+   them. Verifiers that diff network state against [Wm] need the two in
+   sync, so this pushes the stragglers through the engine — without
+   firing anything — to restore quiescence. *)
+let flush_match t =
+  let changes = take_pending t in
+  if changes <> [] then begin
+    let stats = Engine.run_changes t.eng changes in
+    t.match_stats_rev <- stats :: t.match_stats_rev
+  end

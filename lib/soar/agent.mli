@@ -110,5 +110,11 @@ val run : t -> run_summary
 val learned_productions : t -> Production.t list
 (** Chunks built so far (for after-chunking runs). *)
 
+val flush_match : t -> unit
+(** Push any wme changes still buffered at the end of a run (a [(halt)]
+    action exits mid-phase) through the match engine without firing
+    productions, so the network state agrees with {!wm} again. Needed
+    before diffing network memories against working memory. *)
+
 val slot : t -> goal:Sym.t -> role:string -> Value.t option
 (** Current context-slot value, if decided. *)

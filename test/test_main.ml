@@ -12,4 +12,5 @@ let () =
       ("future-work", Test_future_work.suite);
       ("harness", Test_harness.suite);
       ("properties", Test_props.suite);
+      ("check", Test_check.suite);
     ]
