@@ -2,7 +2,7 @@
 # must pass. Formatting is checked only when ocamlformat is installed
 # (the CI format job is advisory too).
 
-.PHONY: all build test fmt lint verify check bench clean
+.PHONY: all build test fmt lint verify check bench bench-json bench-quick clean
 
 all: build
 
@@ -30,6 +30,14 @@ check: build test fmt lint verify
 
 bench:
 	dune exec bench/main.exe
+
+# Full machine-readable run (the BENCH_*.json trajectory; see README)
+bench-json:
+	dune exec bench/main.exe -- --json bench.json
+
+# Abbreviated run for CI artifacts
+bench-quick:
+	dune exec bench/main.exe -- --quick --json bench-quick.json
 
 clean:
 	dune clean

@@ -6,7 +6,19 @@
    the matcher's primitives and of run-time production addition (the
    §5.1 mechanism), including the sharing ablation.
 
-   Run with: dune exec bench/main.exe *)
+   Modes (see README "Benchmark JSON"):
+
+     dune exec bench/main.exe                  # full: tables + micro, human-readable
+     dune exec bench/main.exe -- --json F      # also write machine-readable results to F
+     dune exec bench/main.exe -- --quick       # CI mode: short quotas, micro + small
+                                               # speedup probe only, no paper tables
+
+   The micro fixtures are deliberately *populated*: the match kernel's
+   cost is per-probe complexity against loaded memories (hash-line
+   collision chains), not the empty-table fast path, so the fixtures
+   pre-load working memory / memory lines before staging the measured
+   operation. The JSON from each perf PR is committed as BENCH_<PR>.json
+   at the repo root (before/after pairs), forming the perf trajectory. *)
 
 open Psme_support
 open Psme_ops5
@@ -27,7 +39,7 @@ let fixture_schema () =
 |});
   schema
 
-let fixture_net schema =
+let fixture_net ?(lines = 512) schema =
   let prods =
     Parser.productions schema
       {|
@@ -36,22 +48,54 @@ let fixture_net schema =
 (p g3 (block ^name <x> ^state <s>) (block ^name <> <x> ^state <s>) --> (write c))
 |}
   in
-  let net = Network.create schema in
+  let net =
+    Network.create ~config:{ Network.default_config with Network.lines } schema
+  in
   ignore (Build.add_all net prods);
   net
 
+let block_wme ?on ~name ~color ~state ~timetag () =
+  let fields = Array.make 4 Value.nil in
+  fields.(0) <- Value.sym name;
+  fields.(1) <- Value.sym color;
+  (match on with None -> () | Some o -> fields.(2) <- Value.sym o);
+  fields.(3) <- Value.sym state;
+  Wme.make ~cls:(Sym.intern "block") ~fields ~timetag
+
+(* A net under sustained load: 16 hash lines (so distinct-key entries
+   collide into shared lines, the regime §6.1's line lock exists for)
+   and a working memory of blocks already resident in the entry and
+   two-input memories. The residents form an ^on cycle (p0 sits on p191,
+   p_i on p_{i-1}) so every join key — name, on, state — is distinct:
+   the populated memories hold many entries per *line* (~256) but few
+   per *bucket*, which is the regime the secondary index targets (an
+   all-nil ^on column would funnel every entry into one bucket and
+   measure nothing but chain walking). The measured operation is the
+   paper's unit of match work: one wme add and its retraction. *)
 let bench_wme_churn =
   Test.make ~name:"match: add+delete one wme (serial)"
     (let schema = fixture_schema () in
-     let net = fixture_net schema in
-     let cls = Sym.intern "block" in
-     let tag = ref 0 in
+     let net = fixture_net ~lines:16 schema in
+     let resident = 1024 in
+     let () =
+       List.iter
+         (fun w -> ignore (Psme_engine.Serial.run_changes net [ (Task.Add, w) ]))
+         (List.init resident (fun i ->
+              block_wme
+                ~on:(Printf.sprintf "p%d" ((i + resident - 1) mod resident))
+                ~name:(Printf.sprintf "p%d" i) ~color:"blue"
+                ~state:(Printf.sprintf "s%d" i) ~timetag:(i + 1) ()))
+     in
+     let () =
+       let fields = Array.make 3 Value.nil in
+       fields.(0) <- Value.sym "free";
+       let hand = Wme.make ~cls:(Sym.intern "hand") ~fields ~timetag:(resident + 1) in
+       ignore (Psme_engine.Serial.run_changes net [ (Task.Add, hand) ])
+     in
+     let tag = ref (resident + 1) in
      Staged.stage (fun () ->
          incr tag;
-         let fields = Array.make 4 Value.nil in
-         fields.(0) <- Value.sym "b";
-         fields.(1) <- Value.sym "blue";
-         let w = Wme.make ~cls ~fields ~timetag:!tag in
+         let w = block_wme ~name:"bench" ~color:"blue" ~state:"sbench" ~timetag:!tag () in
          ignore (Psme_engine.Serial.run_changes net [ (Task.Add, w) ]);
          ignore (Psme_engine.Serial.run_changes net [ (Task.Delete, w) ])))
 
@@ -89,17 +133,51 @@ let bench_token_ops =
          done;
          ignore (Token.hash !t)))
 
+(* One join level at depth [d]: the cost of Token.extend must not grow
+   with the chain already matched (the paper's long-chain productions,
+   §6.2, pay this on every level). *)
+let bench_token_depth d =
+  Test.make ~name:(Printf.sprintf "token: extend+hash @depth=%d" d)
+    (let cls = Sym.intern "block" in
+     let base =
+       let t = ref (Token.singleton (Wme.make ~cls ~fields:[||] ~timetag:0)) in
+       for i = 1 to d - 1 do
+         t := Token.extend !t (Wme.make ~cls ~fields:[||] ~timetag:i)
+       done;
+       !t
+     in
+     let w = Wme.make ~cls ~fields:[||] ~timetag:d in
+     Staged.stage (fun () -> ignore (Token.hash (Token.extend base w))))
+
+(* One line loaded with [resident] entries of *distinct* (node, khash)
+   keys that all collide into the same hash line — the §6.1 collision
+   chain. The measured op probes one key; its cost should depend on the
+   bucket, not the line. *)
 let bench_memory_ops =
   Test.make ~name:"memory: insert+probe+remove under line lock"
-    (let mem = Memory.create ~lines:64 () in
+    (let lines = 64 in
+     let mem = Memory.create ~lines () in
      let cls = Sym.intern "c" in
+     let resident = 128 in
+     let () =
+       for i = 1 to resident do
+         (* khash multiples of [lines] all map to line 0, distinct keys *)
+         let kh = i * lines in
+         let w = Wme.make ~cls ~fields:[||] ~timetag:(1000 + i) in
+         let line = Memory.line_of mem ~khash:kh in
+         Memory.locked mem ~line (fun () ->
+             ignore
+               (Memory.left_add mem ~node:(100 + i) ~khash:kh (Token.singleton w)
+                  ~count:0))
+       done
+     in
      let tag = ref 0 in
+     let kh = (resident + 7) * lines in
+     let line = Memory.line_of mem ~khash:kh in
      Staged.stage (fun () ->
          incr tag;
          let w = Wme.make ~cls ~fields:[||] ~timetag:!tag in
          let tok = Token.singleton w in
-         let kh = !tag * 7 in
-         let line = Memory.line_of mem ~khash:kh in
          Memory.locked mem ~line (fun () ->
              ignore (Memory.left_add mem ~node:1 ~khash:kh tok ~count:0);
              ignore (Memory.left_iter mem ~node:1 ~khash:kh (fun _ -> ()));
@@ -113,6 +191,23 @@ let bench_alpha =
      let fields = Array.make 4 Value.nil in
      let () = fields.(1) <- Value.sym "blue" in
      let w = Wme.make ~cls ~fields ~timetag:1 in
+     Staged.stage (fun () -> ignore (Runtime.seed_wme_change net Task.Add w)))
+
+(* Wide literal discrimination: 64 sibling constant tests on the same
+   field. A list-walk alpha network pays all 64 per wme; a dispatch
+   table pays one lookup. *)
+let bench_alpha_wide =
+  Test.make ~name:"alpha: 64-way sibling constant dispatch"
+    (let schema = fixture_schema () in
+     let prods =
+       String.concat "\n"
+         (List.init 64 (fun i ->
+              Printf.sprintf
+                {|(p w%d (block ^name n%d ^state live) --> (write x))|} i i))
+     in
+     let net = Network.create schema in
+     ignore (Build.add_all net (Parser.productions schema prods));
+     let w = block_wme ~name:"n63" ~color:"c" ~state:"live" ~timetag:1 () in
      Staged.stage (fun () -> ignore (Runtime.seed_wme_change net Task.Add w)))
 
 let bench_trace_emit =
@@ -130,23 +225,26 @@ let bench_metrics_incr =
     (let c = Psme_obs.Metrics.counter Psme_obs.Metrics.global "bench.counter" in
      Staged.stage (fun () -> Psme_obs.Metrics.incr c))
 
-let run_bechamel () =
-  let benchmarks =
-    [
-      bench_wme_churn;
-      bench_add_production ~share:true "compile: add production, sharing on";
-      bench_add_production ~share:false "compile: add production, sharing off";
-      bench_token_ops;
-      bench_memory_ops;
-      bench_alpha;
-      bench_trace_emit;
-      bench_metrics_incr;
-    ]
-  in
+let micro_benchmarks () =
+  [
+    bench_wme_churn;
+    bench_add_production ~share:true "compile: add production, sharing on";
+    bench_add_production ~share:false "compile: add production, sharing off";
+    bench_token_ops;
+    bench_token_depth 4;
+    bench_token_depth 64;
+    bench_token_depth 256;
+    bench_memory_ops;
+    bench_alpha;
+    bench_alpha_wide;
+    bench_trace_emit;
+    bench_metrics_incr;
+  ]
+
+let run_micro ~quota =
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
-  Format.printf "@.== micro-benchmarks (Bechamel, ns/iteration) ==@.";
-  List.iter
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
       let ols =
@@ -154,17 +252,139 @@ let run_bechamel () =
           (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
           instance results
       in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Format.printf "%-48s %12.0f ns/run@." name est
-          | _ -> Format.printf "%-48s (no estimate)@." name)
-        ols)
-    benchmarks
+      Hashtbl.fold
+        (fun name result acc ->
+          let est =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Some est
+            | _ -> None
+          in
+          (* strip Bechamel's "g/" group prefix *)
+          let name =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          (name, est) :: acc)
+        ols [])
+    (micro_benchmarks ())
+
+(* --- sim-engine speedup curves ------------------------------------------ *)
+
+let speedup_series ~procs_axis (w : Psme_workloads.Workload.t) =
+  let open Psme_soar in
+  List.map
+    (fun procs ->
+      let config =
+        {
+          Agent.default_config with
+          Agent.learning = false;
+          engine_mode =
+            Psme_engine.Engine.Sim_mode
+              {
+                Psme_engine.Sim.procs;
+                queues = Psme_engine.Parallel.Multiple_queues;
+                collect_trace = false;
+              };
+        }
+      in
+      let agent = w.Psme_workloads.Workload.make ~config () in
+      ignore (Agent.run agent);
+      let totals = Psme_engine.Engine.totals (Agent.engine agent) in
+      (procs, Psme_engine.Cycle.speedup totals))
+    procs_axis
+
+(* --- machine-readable output -------------------------------------------- *)
+
+let json_doc ~mode ~micro ~speedups =
+  let open Psme_obs.Json in
+  Obj
+    [
+      ("schema", Str "psme-bench/1");
+      ("mode", Str mode);
+      ( "micro",
+        List
+          (List.map
+             (fun (name, est) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ("ns_per_run", match est with Some e -> Float e | None -> Null);
+                 ])
+             micro) );
+      ( "speedup",
+        List
+          (List.map
+             (fun (workload, points) ->
+               Obj
+                 [
+                   ("workload", Str workload);
+                   ("queues", Str "multi");
+                   ( "points",
+                     List
+                       (List.map
+                          (fun (p, s) ->
+                            Obj [ ("procs", Int p); ("speedup", Float s) ])
+                          points) );
+                 ])
+             speedups) );
+    ]
+
+let write_json path doc =
+  let oc = open_out path in
+  output_string oc (Psme_obs.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc
+
+(* --- driver -------------------------------------------------------------- *)
 
 let () =
+  let quick = ref false in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | arg :: _ ->
+      prerr_endline ("unknown argument: " ^ arg);
+      prerr_endline "usage: main.exe [--quick] [--json FILE]";
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   Format.printf "Soar/PSM-E reproduction — evaluation harness@.";
   Format.printf "(simulated Encore Multimax; see DESIGN.md for the cost model)@.";
-  Psme_harness.Experiments.print_all Format.std_formatter;
-  run_bechamel ();
+  if not !quick then Psme_harness.Experiments.print_all Format.std_formatter;
+  let quota = if !quick then 0.05 else 0.5 in
+  let micro = run_micro ~quota in
+  Format.printf "@.== micro-benchmarks (Bechamel, ns/iteration) ==@.";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some e -> Format.printf "%-48s %12.0f ns/run@." name e
+      | None -> Format.printf "%-48s (no estimate)@." name)
+    micro;
+  let speedups =
+    let procs_axis = if !quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 13 ] in
+    let workloads =
+      if !quick then [ Psme_workloads.Eight_puzzle.workload ]
+      else [ Psme_workloads.Eight_puzzle.workload; Psme_workloads.Strips.workload ]
+    in
+    List.map
+      (fun (w : Psme_workloads.Workload.t) ->
+        Format.printf "@.== sim speedup: %s (multiple queues) ==@." w.Psme_workloads.Workload.name;
+        let pts = speedup_series ~procs_axis w in
+        List.iter (fun (p, s) -> Format.printf "  %2d procs  %.2fx@." p s) pts;
+        (w.Psme_workloads.Workload.name, pts))
+      workloads
+  in
+  (match !json_path with
+  | Some path ->
+    let mode = if !quick then "quick" else "full" in
+    write_json path (json_doc ~mode ~micro ~speedups);
+    Format.printf "@.wrote %s@." path
+  | None -> ());
   Format.printf "@.done.@."

@@ -262,7 +262,7 @@ let structure (net : Network.t) =
 (* ------------------------------------------------------------------ *)
 
 let token_tags tok =
-  Array.to_list (Array.map (fun w -> w.Wme.timetag) tok.Token.wmes)
+  Array.to_list (Array.map (fun w -> w.Wme.timetag) (Token.wmes tok))
 
 let tags_str tags = String.concat "," (List.map string_of_int tags)
 

@@ -58,7 +58,7 @@ let remove_wme t w =
    lexicographically; more recent dominates. Specificity: total number
    of tests in the production's LHS. *)
 let recency_key (inst : Conflict_set.inst) =
-  let tags = Array.map (fun w -> w.Wme.timetag) inst.Conflict_set.token.Token.wmes in
+  let tags = Array.map (fun w -> w.Wme.timetag) (Token.wmes inst.Conflict_set.token) in
   Array.sort (fun a b -> compare b a) tags;
   tags
 

@@ -14,14 +14,23 @@ type config = {
 (* Queue items carry (id, parent, task) for the tracer's spawn DAG; ids
    come from one atomic counter, so a parent's id is below its
    children's. *)
-type queue = {
+type item = int * int * Task.t
+
+(* Multiple_queues uses one Chase–Lev deque per worker: the owner
+   pushes/pops its own deque lock-free and thieves CAS-steal the oldest
+   task. Single_queue must keep a mutex queue — every worker pushes
+   children into the one shared queue, which violates the deque's
+   single-owner contract. *)
+type queues =
+  | Shared of shared
+  | Deques of item Ws_deque.t array
+
+and shared = {
   lock : Mutex.t;
-  items : (int * int * Task.t) Vec.t;
+  items : item Vec.t;
 }
 
-let make_queue () = { lock = Mutex.create (); items = Vec.create () }
-
-let try_pop q =
+let shared_try_pop q =
   if Mutex.try_lock q.lock then begin
     let item = Vec.pop q.items in
     Mutex.unlock q.lock;
@@ -29,14 +38,15 @@ let try_pop q =
   end
   else None
 
-let push q item =
-  Mutex.protect q.lock (fun () -> Vec.push q.items item)
-
 let run_tasks ?(cost = Cost.default) ?tracer config net seed =
   let t0 = Clock.now_ns () in
   let now_us () = float_of_int (Clock.now_ns () - t0) /. 1e3 in
   let nq = match config.queues with Single_queue -> 1 | Multiple_queues -> config.processes in
-  let queues = Array.init nq (fun _ -> make_queue ()) in
+  let queues =
+    match config.queues with
+    | Single_queue -> Shared { lock = Mutex.create (); items = Vec.create () }
+    | Multiple_queues -> Deques (Array.init nq (fun _ -> Ws_deque.create ()))
+  in
   (* outstanding = queued + currently executing; the cycle ends at 0. *)
   let outstanding = Atomic.make 0 in
   let tasks_done = Atomic.make 0 in
@@ -46,11 +56,18 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
   let serial_us_bits = Atomic.make 0 in
   (* accumulate µs as integer tenths to stay atomic *)
   let next_id = Atomic.make 0 in
+  (* Seeding happens before the workers spawn, so pushing into a
+     worker's deque from here cannot race its owner. *)
+  let seed_push qi item =
+    match queues with
+    | Shared q -> Mutex.protect q.lock (fun () -> Vec.push q.items item)
+    | Deques ds -> Ws_deque.push ds.(qi) item
+  in
   List.iteri
     (fun i task ->
       Atomic.incr outstanding;
       let id = Atomic.fetch_and_add next_id 1 in
-      push queues.(i mod nq) (id, -1, task);
+      seed_push (i mod nq) (id, -1, task);
       match tracer with
       | Some tr ->
         Trace.emit tr Trace.Queue_push ~t_us:(now_us ()) ~proc:(-1)
@@ -59,6 +76,19 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
     seed;
   let worker me () =
     let my_q = me mod nq in
+    (* probe queue (my_q + k) mod nq: own pop at k = 0, steal after *)
+    let probe k =
+      match queues with
+      | Shared q -> shared_try_pop q
+      | Deques ds ->
+        if k = 0 then Ws_deque.pop ds.(my_q)
+        else Ws_deque.steal ds.((my_q + k) mod nq)
+    in
+    let push_child item =
+      match queues with
+      | Shared q -> Mutex.protect q.lock (fun () -> Vec.push q.items item)
+      | Deques ds -> Ws_deque.push ds.(my_q) item
+    in
     let rec loop () =
       if Atomic.get outstanding = 0 then ()
       else begin
@@ -66,7 +96,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
           let rec scan k =
             if k >= nq then None
             else
-              match try_pop queues.((my_q + k) mod nq) with
+              match probe k with
               | Some (id, parent, task) ->
                 (match tracer with
                 | Some tr ->
@@ -121,7 +151,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
           List.iter
             (fun k ->
               let kid = Atomic.fetch_and_add next_id 1 in
-              push queues.(my_q) (kid, id, k);
+              push_child (kid, id, k);
               match tracer with
               | Some tr ->
                 Trace.emit tr Trace.Queue_push ~t_us:(now_us ()) ~proc:me

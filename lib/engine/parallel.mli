@@ -14,8 +14,13 @@
 open Psme_rete
 
 type queue_mode =
-  | Single_queue
+  | Single_queue  (** one shared mutex-guarded queue *)
   | Multiple_queues
+      (** one Chase–Lev deque per process: the owner pushes and pops
+          lock-free, idle processes steal the oldest task from their
+          neighbours' deques (probing in ring order, as the paper's
+          multiple-queue variant scans). A lost steal race counts as a
+          failed pop, like a contended [try_lock] did. *)
 
 type config = {
   processes : int;   (** match processes (not counting the caller) *)

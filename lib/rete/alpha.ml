@@ -14,11 +14,58 @@ let atest_holds test w =
   | A_rel (f, rel, v) -> Cond.eval_relation rel (Wme.field w f) v
   | A_same (f1, rel, f2) -> Cond.eval_relation rel (Wme.field w f1) (Wme.field w f2)
 
+(* Node sharing compares tests with [Value.equal] (not polymorphic
+   equality) so a test built from an interned symbol and one built from
+   the same symbol re-interned still share; [A_disj] values are
+   canonicalized (sorted, deduplicated) on entry to [add_chain], making
+   disjunction equality order-insensitive. *)
+let atest_equal a b =
+  match a, b with
+  | A_const (f1, v1), A_const (f2, v2) -> f1 = f2 && Value.equal v1 v2
+  | A_disj (f1, vs1), A_disj (f2, vs2) ->
+    f1 = f2
+    && List.length vs1 = List.length vs2
+    && List.for_all2 Value.equal vs1 vs2
+  | A_rel (f1, r1, v1), A_rel (f2, r2, v2) -> f1 = f2 && r1 = r2 && Value.equal v1 v2
+  | A_same (f1, r1, g1), A_same (f2, r2, g2) -> f1 = f2 && r1 = r2 && g1 = g2
+  | (A_const _ | A_disj _ | A_rel _ | A_same _), _ -> false
+
+let canonical_atest = function
+  | A_disj (f, vs) -> A_disj (f, List.sort_uniq Value.compare vs)
+  | (A_const _ | A_rel _ | A_same _) as t -> t
+
+module VH = Hashtbl.Make (struct
+  type t = int * Value.t
+
+  let equal (f1, v1) (f2, v2) = f1 = f2 && Value.equal v1 v2
+  let hash (f, v) = ((f * 0x9e3779b1) lxor Value.hash v) land max_int
+end)
+
+(* Each chain level keeps, alongside the plain child list, a dispatch
+   table for its [A_const] children: a wme can match at most one
+   constant test per field, so one hash probe per distinct field
+   replaces testing every constant sibling. Non-constant children
+   (disjunctions, relations, same-field tests) are still tested one by
+   one — they are rare. The walk still *charges* one activation per
+   sibling (the dispatch is an implementation shortcut, not a change to
+   the network the cost model measures), and passing children are
+   expanded in child-list order (newest first, via [seq]) so emission
+   order matches the pre-dispatch walk exactly. *)
+
 type anode = {
   _aid : int;
   test : atest;
-  mutable children : anode list;
+  seq : int;  (* insertion index within the parent level *)
+  children : level;
   mutable mem : amem option;
+}
+
+and level = {
+  mutable all : anode list;  (* newest first *)
+  mutable size : int;
+  consts : anode VH.t;  (* (field, value) -> the unique A_const child *)
+  mutable const_fields : int list;  (* distinct fields among const children *)
+  mutable others : anode list;  (* non-const children, newest first *)
 }
 
 and amem = {
@@ -35,9 +82,27 @@ type t = {
 }
 
 and root = {
-  mutable top_children : anode list;
+  top_children : level;
   mutable top_mem : amem option;  (* CE with class test only *)
 }
+
+let level_create () =
+  { all = []; size = 0; consts = VH.create 4; const_fields = []; others = [] }
+
+let level_add lvl node =
+  lvl.all <- node :: lvl.all;
+  lvl.size <- lvl.size + 1;
+  match node.test with
+  | A_const (f, v) ->
+    VH.replace lvl.consts (f, v) node;
+    if not (List.mem f lvl.const_fields) then lvl.const_fields <- f :: lvl.const_fields
+  | A_disj _ | A_rel _ | A_same _ -> lvl.others <- node :: lvl.others
+
+let level_find lvl test =
+  match test with
+  | A_const (f, v) -> VH.find_opt lvl.consts (f, v)
+  | A_disj _ | A_rel _ | A_same _ ->
+    List.find_opt (fun c -> atest_equal c.test test) lvl.others
 
 let create ~alloc_id =
   { alloc_id; roots = Hashtbl.create 64; mems = Hashtbl.create 64;
@@ -47,7 +112,7 @@ let get_root t cls =
   match Hashtbl.find_opt t.roots cls with
   | Some r -> r
   | None ->
-    let r = { top_children = []; top_mem = None } in
+    let r = { top_children = level_create (); top_mem = None } in
     Hashtbl.replace t.roots cls r;
     r
 
@@ -58,41 +123,33 @@ let new_mem t =
   m
 
 let add_chain t ~cls tests =
+  let tests = List.map canonical_atest tests in
   let root = get_root t cls in
   (* Walk/extend the chain one test at a time, sharing prefixes. *)
-  let rec place_in children_get children_set mem_get mem_set = function
+  let rec place lvl get_mem set_mem = function
     | [] -> (
-      match mem_get () with
+      match get_mem () with
       | Some m -> m.mid
       | None ->
         let m = new_mem t in
-        mem_set (Some m);
+        set_mem (Some m);
         m.mid)
-    | test :: rest -> (
-      match List.find_opt (fun c -> c.test = test) (children_get ()) with
-      | Some child ->
-        place_in
-          (fun () -> child.children)
-          (fun l -> child.children <- l)
-          (fun () -> child.mem)
-          (fun m -> child.mem <- m)
-          rest
-      | None ->
-        let child =
-          { _aid = t.alloc_id (); test; children = []; mem = None }
-        in
-        t.n_nodes <- t.n_nodes + 1;
-        children_set (child :: children_get ());
-        place_in
-          (fun () -> child.children)
-          (fun l -> child.children <- l)
-          (fun () -> child.mem)
-          (fun m -> child.mem <- m)
-          rest)
+    | test :: rest ->
+      let child =
+        match level_find lvl test with
+        | Some c -> c
+        | None ->
+          let c =
+            { _aid = t.alloc_id (); test; seq = lvl.size;
+              children = level_create (); mem = None }
+          in
+          t.n_nodes <- t.n_nodes + 1;
+          level_add lvl c;
+          c
+      in
+      place child.children (fun () -> child.mem) (fun m -> child.mem <- m) rest
   in
-  place_in
-    (fun () -> root.top_children)
-    (fun l -> root.top_children <- l)
+  place root.top_children
     (fun () -> root.top_mem)
     (fun m -> root.top_mem <- m)
     tests
@@ -110,14 +167,32 @@ let matching_amems t w f =
   | None -> ()
   | Some root ->
     (match root.top_mem with Some m -> f m.mid | None -> ());
-    let rec walk node =
-      incr count;
-      if atest_holds node.test w then begin
-        (match node.mem with Some m -> f m.mid | None -> ());
-        List.iter walk node.children
+    let rec expand node =
+      (match node.mem with Some m -> f m.mid | None -> ());
+      walk node.children
+    and walk lvl =
+      if lvl.size > 0 then begin
+        (* every sibling at an expanded level counts as one activation,
+           exactly as the undispatched walk performed *)
+        count := !count + lvl.size;
+        let cands = ref [] in
+        List.iter
+          (fun fld ->
+            match VH.find_opt lvl.consts (fld, Wme.field w fld) with
+            | Some n -> cands := n :: !cands
+            | None -> ())
+          lvl.const_fields;
+        List.iter
+          (fun n -> if atest_holds n.test w then cands := n :: !cands)
+          lvl.others;
+        match !cands with
+        | [] -> ()
+        | [ n ] -> expand n
+        | many ->
+          List.iter expand (List.sort (fun a b -> compare b.seq a.seq) many)
       end
     in
-    List.iter walk root.top_children);
+    walk root.top_children);
   t.activations <- t.activations + !count;
   !count
 

@@ -21,6 +21,15 @@ type atest =
 
 val atest_holds : atest -> Wme.t -> bool
 
+(** Structural-equality contract: chain sharing in {!add_chain} compares
+    tests field-by-field with {!Psme_support.Value.equal} (so [Int 3]
+    and [Float 3.] never share a node even though some relations treat
+    them as equal magnitudes), and [A_disj] value lists are canonicalized
+    — sorted by [Value.compare] and deduplicated — on entry, so
+    [<<red blue>>] and [<<blue red>>] produce one shared node. Tests
+    containing the same [float] NaN never compare equal and will not
+    share. *)
+
 type t
 
 val create : alloc_id:(unit -> int) -> t
@@ -29,9 +38,11 @@ val create : alloc_id:(unit -> int) -> t
 
 val add_chain : t -> cls:Sym.t -> atest list -> int
 (** [add_chain t ~cls tests] finds or creates the test chain for a CE
-    (tests are deduplicated and sorted canonically by the caller) and
+    (tests are deduplicated and sorted canonically by the caller;
+    [A_disj] value order is additionally canonicalized here) and
     returns the alpha-memory id at its end. Shares every prefix with
-    existing chains. *)
+    existing chains, comparing tests per the structural-equality
+    contract above. *)
 
 val add_successor : t -> amem:int -> node:int -> unit
 (** Register a beta node fed by alpha memory [amem]. Keeps the successor
@@ -43,7 +54,11 @@ val remove_successor : t -> node:int -> unit
 val matching_amems : t -> Wme.t -> (int -> unit) -> int
 (** Apply the function to each alpha memory the wme reaches; returns the
     number of constant-test node activations performed (for the cost
-    model). *)
+    model). [A_const] siblings at each level are resolved through a
+    per-level [(field, value)] hash dispatch rather than tested one by
+    one, but the activation count still charges every sibling of an
+    expanded node and memories are emitted in the same order as the
+    undispatched depth-first walk. *)
 
 val successors : t -> amem:int -> int list
 (** Beta nodes fed by this alpha memory, in registration order. *)

@@ -56,8 +56,8 @@ let compare_inst a b =
   let c = String.compare (Sym.name a.prod) (Sym.name b.prod) in
   if c <> 0 then c
   else
-    let ta = Array.map (fun w -> w.Wme.timetag) a.token.Token.wmes
-    and tb = Array.map (fun w -> w.Wme.timetag) b.token.Token.wmes in
+    let ta = Array.map (fun w -> w.Wme.timetag) (Token.wmes a.token)
+    and tb = Array.map (fun w -> w.Wme.timetag) (Token.wmes b.token) in
     Stdlib.compare ta tb
 
 let sorted t pred =

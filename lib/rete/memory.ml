@@ -14,10 +14,27 @@ type right_payload =
 type l_item = { ln : int; lkh : int; entry : left_entry }
 type r_item = { rn : int; rkh : int; payload : right_payload; mutable r_refs : int }
 
+(* Each line stores its entries in one Vec (the line "population" the
+   cost model charges a probe for), plus a secondary index mapping a
+   bucket key — (node, khash) folded to an int — to the *ascending*
+   positions of that bucket's entries in the Vec. Probes and iterations
+   walk only their own bucket chain; iterating positions in ascending
+   order visits entries in exactly the order the unindexed line scan
+   did, so the serial engine's task schedule (and therefore its measured
+   [scanned] stream) is unchanged.
+
+   Key folding may collide two distinct (node, khash) pairs into one
+   chain; every entry still carries its own [ln]/[lkh] and each probe
+   re-checks them, so a collision only lengthens the chain. *)
+
 type line = {
   lock : Mutex.t;
   left : l_item Vec.t;
   right : r_item Vec.t;
+  (* allocated on first use: most lines of a fresh memory are never
+     touched, and Network.create should stay cheap *)
+  mutable lidx : (int, int Vec.t) Hashtbl.t option;
+  mutable ridx : (int, int Vec.t) Hashtbl.t option;
   mutable left_accesses : int;  (* since last reset_cycle_stats *)
 }
 
@@ -27,8 +44,87 @@ type t = {
   spins : int Atomic.t;
   left_total : int Atomic.t;
   right_total : int Atomic.t;
-  hist : (int, int) Hashtbl.t;  (* accesses-per-line-per-cycle -> tokens *)
+  hist : (int, int) Hashtbl.t;
+  (* accesses-per-line-per-cycle [k] -> total left accesses on lines
+     that saw [k] accesses that cycle (each line contributes k); see
+     [access_histogram] in the interface *)
 }
+
+let bkey ~node ~khash = ((node * 0x9e3779b1) lxor khash) land max_int
+
+(* --- ascending position lists ---------------------------------------- *)
+
+let ivec_remove v x =
+  let n = Vec.length v in
+  let rec find i = if i >= n then -1 else if Vec.get v i = x then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    for j = i to n - 2 do
+      Vec.set v j (Vec.get v (j + 1))
+    done;
+    ignore (Vec.pop v)
+  end
+
+let ivec_insert_sorted v x =
+  Vec.push v x;
+  let rec shift j =
+    if j > 0 && Vec.get v (j - 1) > x then begin
+      Vec.set v j (Vec.get v (j - 1));
+      shift (j - 1)
+    end
+    else Vec.set v j x
+  in
+  shift (Vec.length v - 1)
+
+let idx_push idx key pos =
+  match Hashtbl.find_opt idx key with
+  | Some v -> Vec.push v pos (* pos is the line's new maximum: stays ascending *)
+  | None ->
+    let v = Vec.create () in
+    Vec.push v pos;
+    Hashtbl.replace idx key v
+
+let idx_remove idx key pos =
+  match Hashtbl.find_opt idx key with
+  | None -> ()
+  | Some v ->
+    ivec_remove v pos;
+    if Vec.is_empty v then Hashtbl.remove idx key
+
+let idx_find idx key =
+  match idx with None -> None | Some h -> Hashtbl.find_opt h key
+
+(* Mirror Vec.swap_remove in the index: the removed entry's position
+   disappears, and the entry moved down from the end re-registers at its
+   new position (which must be re-sorted into its own chain). *)
+let swap_remove_indexed vec oidx ~key_of i =
+  let idx = match oidx with Some h -> h | None -> assert false in
+  let n = Vec.length vec in
+  idx_remove idx (key_of (Vec.get vec i)) i;
+  if i < n - 1 then begin
+    let moved_key = key_of (Vec.get vec (n - 1)) in
+    (match Hashtbl.find_opt idx moved_key with
+    | Some v ->
+      ivec_remove v (n - 1);
+      ivec_insert_sorted v i
+    | None -> assert false);
+    ()
+  end;
+  Vec.swap_remove vec i
+
+let force_idx get set line =
+  match get line with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 8 in
+    set line h;
+    h
+
+let force_lidx line = force_idx (fun l -> l.lidx) (fun l h -> l.lidx <- Some h) line
+let force_ridx line = force_idx (fun l -> l.ridx) (fun l h -> l.ridx <- Some h) line
+
+let lkey_of (it : l_item) = bkey ~node:it.ln ~khash:it.lkh
+let rkey_of (it : r_item) = bkey ~node:it.rn ~khash:it.rkh
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
@@ -41,6 +137,7 @@ let create ?(lines = 512) () =
       lines =
         Array.init n (fun _ ->
             { lock = Mutex.create (); left = Vec.create (); right = Vec.create ();
+              lidx = None; ridx = None;
               left_accesses = 0 });
       mask = n - 1;
       spins = Atomic.make 0;
@@ -82,64 +179,81 @@ let touch_left t line =
   l.left_accesses <- l.left_accesses + 1;
   Atomic.incr t.left_total
 
-let find_left v ~node ~khash token =
-  let n = Vec.length v in
-  let rec go i =
-    if i >= n then None
-    else
-      let item = Vec.get v i in
-      if item.ln = node && item.lkh = khash && Token.equal item.entry.l_token token then
-        Some (i, item)
-      else go (i + 1)
-  in
-  go 0
+(* First matching entry in ascending line position — the same entry (and
+   the same scan outcome) the full line scan used to find. *)
+let find_left line ~node ~khash token =
+  match idx_find line.lidx (bkey ~node ~khash) with
+  | None -> None
+  | Some ps ->
+    let n = Vec.length ps in
+    let rec go j =
+      if j >= n then None
+      else
+        let i = Vec.get ps j in
+        let item = Vec.get line.left i in
+        if item.ln = node && item.lkh = khash && Token.equal item.entry.l_token token
+        then Some (i, item)
+        else go (j + 1)
+    in
+    go 0
+
+let left_push line ~node ~khash entry =
+  Vec.push line.left { ln = node; lkh = khash; entry };
+  idx_push (force_lidx line) (bkey ~node ~khash) (Vec.length line.left - 1)
+
+let left_swap_remove line i = swap_remove_indexed line.left line.lidx ~key_of:lkey_of i
 
 let left_add t ~node ~khash token ~count =
   let line = line_of t ~khash in
   touch_left t line;
-  let v = t.lines.(line).left in
-  match find_left v ~node ~khash token with
+  let l = t.lines.(line) in
+  match find_left l ~node ~khash token with
   | Some (i, item) ->
     item.entry.l_refs <- item.entry.l_refs + 1;
     if item.entry.l_refs = 0 then begin
       (* annihilated an early delete *)
-      Vec.swap_remove v i;
+      left_swap_remove l i;
       `Inert
     end
     else if item.entry.l_refs = 1 then `Activated item.entry
     else `Inert
   | None ->
     let entry = { l_token = token; l_refs = 1; l_count = count } in
-    Vec.push v { ln = node; lkh = khash; entry };
+    left_push l ~node ~khash entry;
     `Activated entry
 
 let left_remove t ~node ~khash token =
   let line = line_of t ~khash in
   touch_left t line;
-  let v = t.lines.(line).left in
-  match find_left v ~node ~khash token with
+  let l = t.lines.(line) in
+  match find_left l ~node ~khash token with
   | Some (i, item) ->
     item.entry.l_refs <- item.entry.l_refs - 1;
     if item.entry.l_refs = 0 then begin
-      Vec.swap_remove v i;
+      left_swap_remove l i;
       `Deactivated item.entry
     end
     else `Inert
   | None ->
     (* early delete: leave a tombstone for the add to annihilate *)
-    Vec.push v
-      { ln = node; lkh = khash; entry = { l_token = token; l_refs = -1; l_count = 0 } };
+    left_push l ~node ~khash { l_token = token; l_refs = -1; l_count = 0 };
     `Inert
 
 let left_iter t ~node ~khash f =
   let line = line_of t ~khash in
   touch_left t line;
-  let v = t.lines.(line).left in
-  let scanned = Vec.length v in
-  for i = 0 to scanned - 1 do
-    let item = Vec.get v i in
-    if item.ln = node && item.lkh = khash && item.entry.l_refs >= 1 then f item.entry
-  done;
+  let l = t.lines.(line) in
+  (* the cost model charges for the whole line (the paper's hash-bucket
+     scan); only the bucket chain is actually walked *)
+  let scanned = Vec.length l.left in
+  (match idx_find l.lidx (bkey ~node ~khash) with
+  | None -> ()
+  | Some ps ->
+    for j = 0 to Vec.length ps - 1 do
+      let item = Vec.get l.left (Vec.get ps j) in
+      if item.ln = node && item.lkh = khash && item.entry.l_refs >= 1 then
+        f item.entry
+    done);
   scanned
 
 let payload_equal a b =
@@ -148,59 +262,72 @@ let payload_equal a b =
   | R_tok x, R_tok y -> Token.equal x y
   | (R_wme _ | R_tok _), _ -> false
 
-let find_right v ~node ~khash payload =
-  let n = Vec.length v in
-  let rec go i =
-    if i >= n then None
-    else
-      let item = Vec.get v i in
-      if item.rn = node && item.rkh = khash && payload_equal item.payload payload then
-        Some (i, item)
-      else go (i + 1)
-  in
-  go 0
+let find_right line ~node ~khash payload =
+  match idx_find line.ridx (bkey ~node ~khash) with
+  | None -> None
+  | Some ps ->
+    let n = Vec.length ps in
+    let rec go j =
+      if j >= n then None
+      else
+        let i = Vec.get ps j in
+        let item = Vec.get line.right i in
+        if item.rn = node && item.rkh = khash && payload_equal item.payload payload
+        then Some (i, item)
+        else go (j + 1)
+    in
+    go 0
+
+let right_push line ~node ~khash payload ~refs =
+  Vec.push line.right { rn = node; rkh = khash; payload; r_refs = refs };
+  idx_push (force_ridx line) (bkey ~node ~khash) (Vec.length line.right - 1)
+
+let right_swap_remove line i = swap_remove_indexed line.right line.ridx ~key_of:rkey_of i
 
 let right_add t ~node ~khash payload =
   let line = line_of t ~khash in
   Atomic.incr t.right_total;
-  let v = t.lines.(line).right in
-  match find_right v ~node ~khash payload with
+  let l = t.lines.(line) in
+  match find_right l ~node ~khash payload with
   | Some (i, item) ->
     item.r_refs <- item.r_refs + 1;
     if item.r_refs = 0 then begin
-      Vec.swap_remove v i;
+      right_swap_remove l i;
       false
     end
     else item.r_refs = 1
   | None ->
-    Vec.push v { rn = node; rkh = khash; payload; r_refs = 1 };
+    right_push l ~node ~khash payload ~refs:1;
     true
 
 let right_remove t ~node ~khash payload =
   let line = line_of t ~khash in
   Atomic.incr t.right_total;
-  let v = t.lines.(line).right in
-  match find_right v ~node ~khash payload with
+  let l = t.lines.(line) in
+  match find_right l ~node ~khash payload with
   | Some (i, item) ->
     item.r_refs <- item.r_refs - 1;
     if item.r_refs = 0 then begin
-      Vec.swap_remove v i;
+      right_swap_remove l i;
       true
     end
     else false
   | None ->
-    Vec.push v { rn = node; rkh = khash; payload; r_refs = -1 };
+    right_push l ~node ~khash payload ~refs:(-1);
     false
 
 let right_iter t ~node ~khash f =
   let line = line_of t ~khash in
   Atomic.incr t.right_total;
-  let v = t.lines.(line).right in
-  let scanned = Vec.length v in
-  for i = 0 to scanned - 1 do
-    let item = Vec.get v i in
-    if item.rn = node && item.rkh = khash && item.r_refs >= 1 then f item.payload
-  done;
+  let l = t.lines.(line) in
+  let scanned = Vec.length l.right in
+  (match idx_find l.ridx (bkey ~node ~khash) with
+  | None -> ()
+  | Some ps ->
+    for j = 0 to Vec.length ps - 1 do
+      let item = Vec.get l.right (Vec.get ps j) in
+      if item.rn = node && item.rkh = khash && item.r_refs >= 1 then f item.payload
+    done);
   scanned
 
 let drop_node t ~node =
@@ -210,7 +337,7 @@ let drop_node t ~node =
           let rec purge_left i =
             if i < Vec.length line.left then
               if (Vec.get line.left i).ln = node then begin
-                Vec.swap_remove line.left i;
+                left_swap_remove line i;
                 purge_left i
               end
               else purge_left (i + 1)
@@ -219,7 +346,7 @@ let drop_node t ~node =
           let rec purge_right i =
             if i < Vec.length line.right then
               if (Vec.get line.right i).rn = node then begin
-                Vec.swap_remove line.right i;
+                right_swap_remove line i;
                 purge_right i
               end
               else purge_right (i + 1)
@@ -269,6 +396,8 @@ let reset_cycle_stats t =
     (fun line ->
       if line.left_accesses > 0 then begin
         let k = line.left_accesses in
+        (* each of the line's k accesses was one left token arriving at a
+           line with k accesses this cycle: weight the bin by k *)
         let prev = Option.value ~default:0 (Hashtbl.find_opt t.hist k) in
         Hashtbl.replace t.hist k (prev + k);
         line.left_accesses <- 0

@@ -21,7 +21,18 @@
 
     Left entries are tokens with a mutable counter (used by negative and
     NCC nodes); right entries are wmes (for joins/negatives) or tokens
-    (subnetwork results arriving at NCC partners). *)
+    (subnetwork results arriving at NCC partners).
+
+    Internally each line also keeps a secondary index from [(node,
+    khash)] to the positions of that key's entries, so probes and
+    iterations walk only their own chain instead of every entry sharing
+    the line. The index preserves line order (positions are visited
+    ascending), so iteration yields the same entry sequence a full line
+    scan would — the serial engine's schedule, and every derived
+    measurement, is unchanged. The [scanned] value reported by the
+    [*_iter] functions is still the {e line} population (the paper's
+    bucket-scan cost that the simulator charges), not the number of
+    entries physically visited. *)
 
 open Psme_ops5
 
@@ -62,9 +73,10 @@ val left_remove :
     [`Inert] records an early delete (tombstone). *)
 
 val left_iter : t -> node:int -> khash:int -> (left_entry -> unit) -> int
-(** Visit {e active} (refs >= 1) entries of [node] in the bucket;
-    returns the number of bucket entries scanned (the comparison count
-    the simulator charges for). *)
+(** Visit {e active} (refs >= 1) entries of [node] in the bucket, in
+    line order; returns the population of the line's left side (the
+    comparison count the simulator charges for a bucket scan), even
+    though only the [(node, khash)] chain is physically visited. *)
 
 val right_add : t -> node:int -> khash:int -> right_payload -> bool
 (** True when the payload became active (probe and emit). *)
@@ -109,8 +121,14 @@ val left_accesses_per_line : t -> int array
     Figure 6-2. *)
 
 val access_histogram : t -> (int * int) list
-(** Accumulated over all completed cycles: [(k, n)] where [n] left
-    tokens hit a line that saw [k] left accesses during their cycle. *)
+(** Accumulated over all completed cycles, sorted by key: [(k, n)]
+    where [n] is the total number of left accesses that landed on lines
+    receiving exactly [k] left accesses within their cycle. Units are
+    {e accesses}, not distinct tokens or line populations: a line with
+    [k] accesses in a cycle contributes [k] to bin [k], so each [n] is a
+    multiple of [k] and [sum n = total left accesses] over the
+    accumulated cycles. Normalizing [n] by the total gives Figure 6-2's
+    "percent of left tokens with [k] accesses to their bucket". *)
 
 val clear_access_histogram : t -> unit
 

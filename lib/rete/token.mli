@@ -1,28 +1,42 @@
 (** Partial instantiations.
 
     A token is the paper's PI: the list of wmes matched so far along one
-    path through the beta network. We store it as an array of wmes, one
-    per {e slot}; a node's [layout] maps slots back to the production's
-    positive-CE indices (identity for linear networks, permuted for
-    bilinear ones). *)
+    path through the beta network. A node's [layout] maps slots back to
+    the production's positive-CE indices (identity for linear networks,
+    permuted for bilinear ones).
+
+    Representation: a token extended from its parent keeps a pointer to
+    it (plus the one appended wme), so {!extend} — the per-join-level
+    operation — is O(1) in the chain length and deep tokens share their
+    prefixes; the flat slot array is materialized lazily by {!wmes} and
+    memoized. The structural hash is maintained incrementally and is
+    bit-identical to hashing the materialized slots, so the memory-line
+    layout (khash values) is unchanged from the flat representation. *)
 
 open Psme_ops5
 
-type t = private {
-  wmes : Wme.t array;
-  hash : int;  (** precomputed structural hash of the wme timetags *)
-}
+type t
 
 val of_wmes : Wme.t array -> t
+(** The array is taken over by the token; do not mutate it afterwards. *)
+
 val singleton : Wme.t -> t
+
 val extend : t -> Wme.t -> t
-(** Append one wme (the usual linear-join step). *)
+(** Append one wme (the usual linear-join step). O(1): shares the
+    receiver as the new token's prefix. *)
 
 val concat : t -> t -> t
 (** Concatenate two tokens (binary joins in bilinear networks). *)
 
 val length : t -> int
+
+val wmes : t -> Wme.t array
+(** The flat slot array (materialized on first use, then memoized; the
+    memo write is a benign race between domains). Do not mutate. *)
+
 val wme : t -> int -> Wme.t
+
 val prefix : t -> int -> t
 (** First [n] slots. *)
 
@@ -30,8 +44,12 @@ val suffix : t -> int -> t
 (** All slots from index [n] on. *)
 
 val equal : t -> t -> bool
+(** Structural equality over the wme timetags, with a physical-equality
+    short-circuit (also applied level-by-level down shared chains). *)
+
 val hash : t -> int
 val field : t -> slot:int -> fld:int -> Psme_support.Value.t
+
 val permute : t -> int array -> t
 (** [permute t perm] builds a token whose slot [i] is [t]'s slot
     [perm.(i)] — used at P-nodes to restore CE order. *)

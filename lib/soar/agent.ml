@@ -287,7 +287,7 @@ let create ?(config = default_config) schema productions =
 let instantiation_level t (inst : Conflict_set.inst) =
   Array.fold_left
     (fun acc w -> max acc (wme_level t w))
-    1 inst.Conflict_set.token.Token.wmes
+    1 (Token.wmes inst.Conflict_set.token)
 
 let fire_instantiation t (inst : Conflict_set.inst) =
   let pm =
@@ -300,7 +300,7 @@ let fire_instantiation t (inst : Conflict_set.inst) =
   let level = instantiation_level t inst in
   let creator =
     {
-      Chunker.c_conds = Array.to_list inst.Conflict_set.token.Token.wmes;
+      Chunker.c_conds = Array.to_list (Token.wmes inst.Conflict_set.token);
       c_level = level;
     }
   in

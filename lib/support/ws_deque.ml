@@ -1,0 +1,93 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), the standard
+   single-owner lock-free deque: the owner pushes and pops at the bottom
+   without synchronization except on the last element; thieves CAS the
+   top. [top] only ever increases, so the CAS has no ABA problem.
+
+   The circular buffer is published through one [Atomic.t] holding an
+   immutable {arr; mask} pair, so a thief always sees a consistent
+   array/mask combination. Slot reads race with owner writes only when
+   the thief's subsequent CAS on [top] is doomed to fail (the owner can
+   reuse a slot only after [top] has moved past it), so a stale read is
+   never returned. Slots hold ['a option] so no dummy element is
+   needed; the owner clears slots it pops to avoid retaining tasks. *)
+
+type 'a buf = { arr : 'a option array; mask : int }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;  (* written only by the owner *)
+  buf : 'a buf Atomic.t;
+}
+
+let create ?(capacity = 256) () =
+  let cap =
+    let rec p n = if n >= capacity then n else p (n * 2) in
+    p 16
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make { arr = Array.make cap None; mask = cap - 1 };
+  }
+
+let grow q bf t b =
+  let cap = (bf.mask + 1) * 2 in
+  let nbf = { arr = Array.make cap None; mask = cap - 1 } in
+  for i = t to b - 1 do
+    nbf.arr.(i land nbf.mask) <- bf.arr.(i land bf.mask)
+  done;
+  Atomic.set q.buf nbf;
+  nbf
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let bf = Atomic.get q.buf in
+  let bf = if b - t > bf.mask then grow q bf t b else bf in
+  bf.arr.(b land bf.mask) <- Some x;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty; restore *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let bf = Atomic.get q.buf in
+    let i = b land bf.mask in
+    let x = bf.arr.(i) in
+    if b > t then begin
+      bf.arr.(i) <- None;
+      x
+    end
+    else begin
+      (* last element: race thieves for it via [top] *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        bf.arr.(i) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then None
+  else begin
+    let bf = Atomic.get q.buf in
+    let x = bf.arr.(t land bf.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then x
+    else None (* lost the race; treat as a failed probe, do not spin *)
+  end
+
+let size q =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  max 0 (b - t)

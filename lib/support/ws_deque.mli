@@ -1,0 +1,33 @@
+(** Chase–Lev work-stealing deque.
+
+    Single-owner: exactly one domain may call {!push}/{!pop} (they are
+    lock-free and uncontended except on the last element); any number of
+    other domains may call {!steal}, which takes the {e oldest} element
+    via a CAS on the top index. The buffer is circular and grows
+    (owner-side) when full, so pushes never fail.
+
+    FIFO for thieves, LIFO for the owner — the owner works depth-first
+    on its own spawned tasks while thieves take the oldest (largest)
+    work, the scheduling the match engine wants for locality. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 256) is the initial buffer size, rounded up to a
+    power of two. The deque grows as needed; capacity is not a bound on
+    contents. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Push at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Pop the most recently pushed element; [None] when
+    empty (also when a thief won the race for the last element). *)
+
+val steal : 'a t -> 'a option
+(** Any domain. Take the oldest element; [None] when the deque looks
+    empty {e or} the CAS lost a race with another thief or the owner —
+    callers treat both as a failed probe and move on rather than spin. *)
+
+val size : 'a t -> int
+(** Snapshot of the current element count (racy; for stats only). *)

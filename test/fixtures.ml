@@ -79,5 +79,5 @@ let cs_fingerprint net =
               (Array.to_list
                  (Array.map
                     (fun w -> string_of_int w.Wme.timetag)
-                    i.Conflict_set.token.Token.wmes))))
+                    (Token.wmes i.Conflict_set.token)))))
   |> String.concat ";"

@@ -1,0 +1,27 @@
+(* Frozen serial-engine measurements for the shipped workloads.
+
+   Runs eight-puzzle and strips (learning off) on the serial engine in a
+   fresh process — the symbol table, and therefore every khash and line
+   assignment, is in its deterministic initial state — and prints the
+   totals the cost model is built on. The runtest rule diffs the output
+   against golden.expected: a kernel optimization must leave every one
+   of these numbers bit-identical (it may change speed, never the
+   reproduced measurements). Use `dune promote` only for a change that
+   is *supposed* to alter match semantics, and say so in the commit. *)
+
+let () =
+  let open Psme_workloads in
+  let open Psme_soar in
+  List.iter
+    (fun (w : Workload.t) ->
+      let agent =
+        w.Workload.make
+          ~config:{ Agent.default_config with Agent.learning = false } ()
+      in
+      ignore (Agent.run agent);
+      let t = Psme_engine.Engine.totals (Agent.engine agent) in
+      Printf.printf "%s scanned=%d alpha=%d tasks=%d emitted=%d\n"
+        w.Workload.name t.Psme_engine.Cycle.scanned
+        t.Psme_engine.Cycle.alpha_activations t.Psme_engine.Cycle.tasks
+        t.Psme_engine.Cycle.emitted)
+    [ Eight_puzzle.workload; Strips.workload ]

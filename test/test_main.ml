@@ -12,5 +12,6 @@ let () =
       ("future-work", Test_future_work.suite);
       ("harness", Test_harness.suite);
       ("properties", Test_props.suite);
+      ("perf-kernel", Test_perf_kernel.suite);
       ("check", Test_check.suite);
     ]

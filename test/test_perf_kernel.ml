@@ -1,0 +1,361 @@
+(* PR 3 kernel tests: the hot-path overhaul (indexed memories, O(1)
+   tokens, alpha dispatch, work-stealing deques) must not change any
+   reproduced measurement. The goldens pinned here were captured from
+   the pre-overhaul kernel; the contention tests prove the indexed
+   memory keeps the refcount-annihilation schedule-independence
+   invariant under real multi-domain interleaving. *)
+
+open Psme_support
+open Psme_ops5
+open Psme_rete
+open Psme_engine
+open Psme_check
+open Psme_workloads
+
+(* --- work-stealing deque ---------------------------------------------- *)
+
+(* n sequenced calls, in order (a bare list literal would evaluate its
+   elements right to left) *)
+let rec take_n f n = if n = 0 then [] else let x = f () in x :: take_n f (n - 1)
+
+let test_deque_owner_lifo () =
+  let q = Ws_deque.create ~capacity:4 () in
+  List.iter (Ws_deque.push q) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list (option int)))
+    "pop order is LIFO then empty"
+    [ Some 5; Some 4; Some 3; Some 2; Some 1; None ]
+    (take_n (fun () -> Ws_deque.pop q) 6)
+
+let test_deque_steal_fifo () =
+  let q = Ws_deque.create () in
+  List.iter (Ws_deque.push q) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list (option int)))
+    "thieves take the oldest" [ Some 1; Some 2 ]
+    (take_n (fun () -> Ws_deque.steal q) 2);
+  Alcotest.(check (list (option int)))
+    "owner keeps the newest" [ Some 5; Some 4; Some 3; None ]
+    (take_n (fun () -> Ws_deque.pop q) 4)
+
+let test_deque_growth () =
+  let q = Ws_deque.create ~capacity:4 () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Ws_deque.push q i
+  done;
+  Alcotest.(check int) "size after pushes" n (Ws_deque.size q);
+  let sum = ref 0 in
+  let rec drain () =
+    match Ws_deque.pop q with
+    | Some v ->
+      sum := !sum + v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all elements survived growth" (n * (n + 1) / 2) !sum
+
+let test_deque_concurrent_steals () =
+  (* one owner producing and popping, three thieves stealing: every
+     element is consumed exactly once *)
+  let q = Ws_deque.create ~capacity:16 () in
+  let n = 20_000 in
+  let remaining = Atomic.make n in
+  let consume take =
+    let mine = ref [] in
+    while Atomic.get remaining > 0 do
+      match take () with
+      | Some v ->
+        mine := v :: !mine;
+        Atomic.decr remaining
+      | None -> Domain.cpu_relax ()
+    done;
+    !mine
+  in
+  let owner =
+    Domain.spawn (fun () ->
+        let early = ref [] in
+        for i = 0 to n - 1 do
+          Ws_deque.push q i;
+          (* interleave some owner pops with the production *)
+          if i mod 3 = 0 then
+            match Ws_deque.pop q with
+            | Some v ->
+              early := v :: !early;
+              Atomic.decr remaining
+            | None -> ()
+        done;
+        !early @ consume (fun () -> Ws_deque.pop q))
+  in
+  let thieves =
+    List.init 3 (fun _ -> Domain.spawn (fun () -> consume (fun () -> Ws_deque.steal q)))
+  in
+  (* the owner's interleaved pops return their values via a list per
+     iteration; recover them by draining the consumed multiset *)
+  let got = Domain.join owner @ List.concat_map Domain.join thieves in
+  let seen = Array.make n 0 in
+  List.iter (fun v -> seen.(v) <- seen.(v) + 1) got;
+  Alcotest.(check bool)
+    "every element consumed exactly once" true
+    (Array.for_all (fun c -> c = 1) seen)
+
+(* --- access-histogram units ------------------------------------------- *)
+
+let mk_tok tt =
+  Token.singleton
+    (Wme.make ~cls:(Sym.intern "c") ~fields:[| Value.nil |] ~timetag:tt)
+
+let with_line mem ~khash f =
+  Memory.locked mem ~line:(Memory.line_of mem ~khash) f
+
+let test_histogram_units () =
+  (* lines = 8, so khash k < 8 lands on line k. Cycle 1 gives line 0
+     three left accesses (add/iter/remove) and line 1 one; cycle 2 gives
+     line 2 two and line 1 one more. Each line contributes its access
+     count k to bin k — the histogram counts accesses, not entries. *)
+  let mem = Memory.create ~lines:8 () in
+  let t1 = mk_tok 1 and t2 = mk_tok 2 in
+  with_line mem ~khash:0 (fun () ->
+      ignore (Memory.left_add mem ~node:1 ~khash:0 t1 ~count:0);
+      ignore (Memory.left_iter mem ~node:1 ~khash:0 (fun _ -> ()));
+      ignore (Memory.left_remove mem ~node:1 ~khash:0 t1));
+  with_line mem ~khash:1 (fun () ->
+      ignore (Memory.left_add mem ~node:1 ~khash:1 t2 ~count:0));
+  Memory.reset_cycle_stats mem;
+  Alcotest.(check (list (pair int int)))
+    "cycle 1: line with 3 accesses adds 3 to bin 3"
+    [ (1, 1); (3, 3) ]
+    (Memory.access_histogram mem);
+  with_line mem ~khash:2 (fun () ->
+      ignore (Memory.left_add mem ~node:1 ~khash:2 (mk_tok 3) ~count:0);
+      ignore (Memory.left_iter mem ~node:1 ~khash:2 (fun _ -> ())));
+  with_line mem ~khash:1 (fun () ->
+      ignore (Memory.left_iter mem ~node:1 ~khash:1 (fun _ -> ())));
+  Memory.reset_cycle_stats mem;
+  Alcotest.(check (list (pair int int)))
+    "cycle 2 accumulates; sum of bins = total left accesses"
+    [ (1, 2); (2, 2); (3, 3) ]
+    (Memory.access_histogram mem);
+  Alcotest.(check int) "total left accesses" 7 (Memory.total_left_accesses mem);
+  Memory.clear_access_histogram mem;
+  Alcotest.(check (list (pair int int))) "clear" [] (Memory.access_histogram mem)
+
+(* --- multi-domain contention on the indexed memory -------------------- *)
+
+type mem_op =
+  | Ladd of int * int * Token.t
+  | Lrem of int * int * Token.t
+  | Liter of int * int
+  | Radd of int * int * Memory.right_payload
+  | Rrem of int * int * Memory.right_payload
+
+let apply_op mem op =
+  match op with
+  | Ladd (node, khash, tok) ->
+    with_line mem ~khash (fun () ->
+        ignore (Memory.left_add mem ~node ~khash tok ~count:0))
+  | Lrem (node, khash, tok) ->
+    with_line mem ~khash (fun () -> ignore (Memory.left_remove mem ~node ~khash tok))
+  | Liter (node, khash) ->
+    with_line mem ~khash (fun () ->
+        ignore (Memory.left_iter mem ~node ~khash (fun _ -> ())))
+  | Radd (node, khash, p) ->
+    with_line mem ~khash (fun () -> ignore (Memory.right_add mem ~node ~khash p))
+  | Rrem (node, khash, p) ->
+    with_line mem ~khash (fun () -> ignore (Memory.right_remove mem ~node ~khash p))
+
+let left_fingerprint mem =
+  Memory.fold_left_entries mem ~init:[] ~f:(fun acc ~node ~khash e ->
+      (node, khash, Token.hash e.Memory.l_token, e.Memory.l_refs) :: acc)
+  |> List.sort compare
+
+let right_fingerprint mem =
+  Memory.fold_right_entries mem ~init:[] ~f:(fun acc ~node ~khash ~refs p ->
+      let pid =
+        match p with
+        | Memory.R_wme w -> w.Wme.timetag
+        | Memory.R_tok t -> Token.hash t
+      in
+      (node, khash, pid, refs) :: acc)
+  |> List.sort compare
+
+let test_memory_contention () =
+  let nd = 4 and iters = 256 in
+  (* 4 lines so every domain contends on every line *)
+  let shared_toks = Array.init 16 (fun i -> mk_tok (1000 + i)) in
+  let shared_wmes =
+    Array.init 16 (fun i ->
+        Memory.R_wme
+          (Wme.make ~cls:(Sym.intern "c") ~fields:[| Value.nil |]
+             ~timetag:(3000 + i)))
+  in
+  let ops_for d =
+    List.concat
+      (List.init iters (fun i ->
+           let tok = shared_toks.(i mod 16) in
+           let khash = i mod 8 in
+           let node = i mod 3 in
+           (* paired add/remove of shared keys — half the domains in
+              remove-first (tombstone) order — must fully annihilate *)
+           let shared_left =
+             if (i + d) mod 2 = 0 then
+               [ Ladd (node, khash, tok); Liter (node, khash);
+                 Lrem (node, khash, tok) ]
+             else
+               [ Lrem (node, khash, tok); Liter (node, khash);
+                 Ladd (node, khash, tok) ]
+           in
+           let shared_right =
+             let p = shared_wmes.(i mod 16) in
+             if (i + d) mod 2 = 0 then
+               [ Radd (node, khash, p); Rrem (node, khash, p) ]
+             else [ Rrem (node, khash, p); Radd (node, khash, p) ]
+           in
+           (* a little private residue so the final state is non-trivial *)
+           let residue =
+             if i mod 16 = d then
+               [ Ladd (100 + d, i, mk_tok (2000 + (d * iters) + i));
+                 Radd (200 + d, i, shared_wmes.(d)) ]
+             else []
+           in
+           shared_left @ shared_right @ residue))
+  in
+  let all_ops = Array.init nd ops_for in
+  let par = Memory.create ~lines:4 () in
+  Array.map
+    (fun ops -> Domain.spawn (fun () -> List.iter (apply_op par) ops))
+    all_ops
+  |> Array.iter Domain.join;
+  let ser = Memory.create ~lines:4 () in
+  Array.iter (List.iter (apply_op ser)) all_ops;
+  let show fp =
+    List.map (fun (a, b, c, d) -> Printf.sprintf "%d:%d:%d:%d" a b c d) fp
+  in
+  Alcotest.(check (list string))
+    "left state equals serial replay"
+    (show (left_fingerprint ser))
+    (show (left_fingerprint par));
+  Alcotest.(check (list string))
+    "right state equals serial replay"
+    (show (right_fingerprint ser))
+    (show (right_fingerprint par));
+  Alcotest.(check bool)
+    "all shared keys annihilated (only private residue remains)" true
+    (List.for_all (fun (node, _, _, _) -> node >= 100) (left_fingerprint par))
+
+let test_parallel_trace_race_free () =
+  (* a real 4-domain run over the work-stealing deques: the vector-clock
+     race detector must see every memory access locked, no unordered
+     unlocked pairs, and — the deque's no-double-delivery guarantee —
+     no task popped twice *)
+  let schema, net =
+    Fixtures.network_of
+      {|
+(p r1 (block ^name <x> ^color blue) -(block ^on <x>) (hand ^state free) --> (write a))
+(p r2 (block ^name <a> ^on <b>) (block ^name <b>) --> (write b))
+(p r3 (block ^name <x> ^color red ^state <s>) (block ^name { <y> <> <x> } ^state <s>) --> (write c))
+|}
+  in
+  let wm = Wm.create () in
+  let block name color on =
+    Fixtures.add_wme schema wm "block"
+      ([ ("name", Fixtures.sym name); ("color", Fixtures.sym color);
+         ("state", Fixtures.sym "live") ]
+      @ if on = "" then [] else [ ("on", Fixtures.sym on) ])
+  in
+  let wmes =
+    [
+      block "a" "red" "b"; block "b" "red" "c"; block "c" "blue" "";
+      block "d" "blue" ""; block "e" "green" "d"; block "f" "red" "a";
+      Fixtures.add_wme schema wm "hand" [ ("state", Fixtures.sym "free") ];
+    ]
+  in
+  let tracer = Psme_obs.Trace.create () in
+  ignore
+    (Parallel.run_changes ~tracer
+       { Parallel.processes = 4; queues = Parallel.Multiple_queues }
+       net
+       (List.map (fun w -> (Task.Add, w)) wmes));
+  let r = Races.analyze (Psme_obs.Trace.events tracer) in
+  Alcotest.(check bool) "accesses traced" true (r.Races.n_accesses > 0);
+  Alcotest.(check int) "no unlocked accesses" 0 r.Races.n_unlocked;
+  Alcotest.(check int) "no unordered unlocked pairs" 0 r.Races.n_races;
+  Alcotest.(check (list (pair int int))) "no double pops" [] r.Races.double_pops
+
+(* --- workload equivalence ---------------------------------------------- *)
+
+(* The serial engine's exact scanned / alpha-activation totals are
+   pinned by the test/golden expect test, which runs in a fresh process
+   (khash values depend on the global symbol table, which other suites
+   in this process have already grown). Here we check the engines agree
+   with each other. *)
+let workloads = [ Eight_puzzle.workload; Strips.workload ]
+
+let run_with mode (w : Workload.t) =
+  let agent =
+    w.Workload.make
+      ~config:
+        {
+          Psme_soar.Agent.default_config with
+          Psme_soar.Agent.learning = false;
+          engine_mode = mode;
+        }
+      ()
+  in
+  let s = Psme_soar.Agent.run agent in
+  (agent, s)
+
+let verify_clean name agent =
+  (* (halt) exits mid-phase; deliver the buffered changes first *)
+  Psme_soar.Agent.flush_match agent;
+  let r =
+    Verify.state
+      (Psme_soar.Agent.network agent)
+      (Wm.to_list (Psme_soar.Agent.wm agent))
+  in
+  Alcotest.(check int) (name ^ ": Verify.state zero diffs") 0
+    (List.length r.Finding.findings)
+
+let test_workload_equivalence () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let sa, ss = run_with Engine.Serial_mode w in
+      Alcotest.(check bool) (w.Workload.name ^ ": serial halted") true
+        ss.Psme_soar.Agent.halted;
+      verify_clean (w.Workload.name ^ "/serial") sa;
+      List.iter
+        (fun (label, mode) ->
+          let a, s = run_with mode w in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s halted" w.Workload.name label)
+            true s.Psme_soar.Agent.halted;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s same decisions as serial" w.Workload.name label)
+            ss.Psme_soar.Agent.decisions s.Psme_soar.Agent.decisions;
+          verify_clean (Printf.sprintf "%s/%s" w.Workload.name label) a)
+        [
+          ( "parallel",
+            Engine.Parallel_mode
+              { Parallel.processes = 2; queues = Parallel.Multiple_queues } );
+          ( "sim",
+            Engine.Sim_mode
+              { Sim.procs = 4; queues = Parallel.Multiple_queues;
+                collect_trace = false } );
+        ])
+    workloads
+
+let suite =
+  [
+    Alcotest.test_case "deque: owner LIFO" `Quick test_deque_owner_lifo;
+    Alcotest.test_case "deque: steal FIFO" `Quick test_deque_steal_fifo;
+    Alcotest.test_case "deque: growth" `Quick test_deque_growth;
+    Alcotest.test_case "deque: concurrent steals exactly-once" `Quick
+      test_deque_concurrent_steals;
+    Alcotest.test_case "memory: histogram units pinned" `Quick
+      test_histogram_units;
+    Alcotest.test_case "memory: 4-domain contention = serial replay" `Quick
+      test_memory_contention;
+    Alcotest.test_case "parallel: deque run race-free" `Quick
+      test_parallel_trace_race_free;
+    Alcotest.test_case "workloads: serial/parallel/sim equivalence" `Slow
+      test_workload_equivalence;
+  ]
