@@ -164,7 +164,7 @@ let tasks_cmd =
 
 (* --- network ----------------------------------------------------------------- *)
 
-let network_cmd_impl task bilinear =
+let network_cmd_impl task bilinear chunks_too =
   match find_workload task with
   | Error e -> prerr_endline e; 2
   | Ok w ->
@@ -173,8 +173,18 @@ let network_cmd_impl task bilinear =
         { Network.default_config with Network.bilinear = true; bilinear_min_ces = 15 }
       else Network.default_config
     in
-    let config = { Agent.default_config with Agent.net_config = net_config } in
+    let config =
+      { Agent.default_config with Agent.net_config = net_config;
+        Agent.learning = chunks_too }
+    in
     let agent = w.Workload.make ~config () in
+    let chunk_names =
+      if chunks_too then
+        List.map
+          (fun ci -> ci.Agent.ci_prod.Production.name)
+          (Agent.run agent).Agent.chunks
+      else []
+    in
     let net = Agent.network agent in
     let count pred =
       Hashtbl.fold (fun _ n acc -> if pred n.Network.kind then acc + 1 else acc)
@@ -197,12 +207,39 @@ let network_cmd_impl task bilinear =
     in
     Format.printf "CEs compiled      %d (sharing saves %d two-input nodes)@." total_ces
       (max 0 (total_ces - Network.two_input_node_count net));
+    let cr = Codesize.compiled_report net in
+    Format.printf "node programs     %d compiled (%d closures, %d heap words)@."
+      cr.Codesize.cp_programs cr.Codesize.cp_closures cr.Codesize.cp_words;
+    if chunks_too then begin
+      (* Growth as learning adds productions: each chunk's compiled
+         closures, spliced into the jumptable at run time (§5.1). *)
+      Format.printf "@.%-40s %9s %9s %9s@." "production" "programs" "closures" "words";
+      List.iter
+        (fun pm ->
+          let c = Codesize.compiled_of_production net pm in
+          let name = pm.Network.meta_production.Production.name in
+          let chunk =
+            if List.exists (Sym.equal name) chunk_names then " [chunk]" else ""
+          in
+          Format.printf "%-40s %9d %9d %9d@."
+            (Sym.name name ^ chunk)
+            c.Codesize.cp_programs c.Codesize.cp_closures c.Codesize.cp_words)
+        (Network.productions net)
+    end;
     0
 
 let network_cmd =
   let doc = "Show the compiled Rete network of a task." in
+  let chunks =
+    Arg.(
+      value & flag
+      & info [ "with-chunks" ]
+          ~doc:
+            "Run the task with learning first and include the chunks' compiled \
+             node programs (code-size growth under learning).")
+  in
   Cmd.v (Cmd.info "network" ~doc)
-    Term.(const network_cmd_impl $ task_arg $ bilinear_arg)
+    Term.(const network_cmd_impl $ task_arg $ bilinear_arg $ chunks)
 
 (* --- report --------------------------------------------------------------------- *)
 

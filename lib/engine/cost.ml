@@ -44,4 +44,4 @@ let task_cost p kind (o : Runtime.outcome) =
   in
   base
   +. (p.per_scan_us *. float_of_int o.Runtime.scanned)
-  +. (p.per_child_us *. float_of_int (List.length o.Runtime.children))
+  +. (p.per_child_us *. float_of_int (Array.length o.Runtime.children))

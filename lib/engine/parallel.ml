@@ -131,7 +131,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
           Atomic.incr tasks_done;
           ignore (Atomic.fetch_and_add scanned o.Runtime.scanned);
           let kids = o.Runtime.children in
-          let nkids = List.length kids in
+          let nkids = Array.length kids in
           ignore (Atomic.fetch_and_add emitted nkids);
           ignore
             (Atomic.fetch_and_add serial_us_bits
@@ -148,7 +148,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
             Trace_emit.mem_accesses tr ~t_us:end_us ~proc:me ~task:id
               o.Runtime.accesses
           | None -> ());
-          List.iter
+          Array.iter
             (fun k ->
               let kid = Atomic.fetch_and_add next_id 1 in
               push_child (kid, id, k);

@@ -35,7 +35,7 @@ let run_tasks ?(cost = Cost.default) ?tracer net seed =
       let o = Runtime.exec net task in
       incr tasks;
       let c = Cost.task_cost cost kind o in
-      let nkids = List.length o.Runtime.children in
+      let nkids = Array.length o.Runtime.children in
       (match tracer with
       | Some tr ->
         Trace.emit tr Trace.Task_end ~t_us:(!serial_us +. c) ~proc:0 ~node
@@ -47,7 +47,7 @@ let run_tasks ?(cost = Cost.default) ?tracer net seed =
       serial_us := !serial_us +. c;
       scanned := !scanned + o.Runtime.scanned;
       emitted := !emitted + nkids;
-      List.iter (fun k -> Vec.push stack (fresh (), id, k)) o.Runtime.children;
+      Array.iter (fun k -> Vec.push stack (fresh (), id, k)) o.Runtime.children;
       drain ()
   in
   drain ();
@@ -95,7 +95,7 @@ let run_changes_async ?(cost = Cost.default) ?tracer net ~on_inst changes =
       let o = Runtime.exec net task in
       incr tasks;
       let c = Cost.task_cost cost kind o in
-      let nkids = List.length o.Runtime.children in
+      let nkids = Array.length o.Runtime.children in
       (match tracer with
       | Some tr ->
         Trace.emit tr Trace.Task_end ~t_us:(!serial_us +. c) ~proc:0 ~node
@@ -107,7 +107,7 @@ let run_changes_async ?(cost = Cost.default) ?tracer net ~on_inst changes =
       serial_us := !serial_us +. c;
       scanned := !scanned + o.Runtime.scanned;
       emitted := !emitted + nkids;
-      List.iter (fun k -> Vec.push stack (fresh (), id, k)) o.Runtime.children;
+      Array.iter (fun k -> Vec.push stack (fresh (), id, k)) o.Runtime.children;
       List.iter
         (fun (flag, inst) ->
           match flag with

@@ -18,7 +18,7 @@ type squeue = {
 
 type event =
   | Try_pop of int  (** processor becomes ready to look for work *)
-  | Finish of { proc : int; parent : int; children : Task.t list }
+  | Finish of { proc : int; parent : int; children : Task.t array }
   | Inject of { proc : int; parent : int; tasks : Task.t list }
       (** the control process delivers the wme changes of a fired
           instantiation (asynchronous elaboration, §7) *)
@@ -114,7 +114,7 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
          for more work. *)
       let q = queues.(my_queue proc) in
       let t =
-        List.fold_left
+        Array.fold_left
           (fun t task -> push_child q ~proc ~parent ~at:t task)
           time children
       in
@@ -156,7 +156,7 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
               let o = Runtime.exec net task in
               incr tasks_done;
               scanned := !scanned + o.Runtime.scanned;
-              let nkids = List.length o.Runtime.children in
+              let nkids = Array.length o.Runtime.children in
               emitted := !emitted + nkids;
               let c = Cost.task_cost cost kind o in
               serial_us := !serial_us +. c;

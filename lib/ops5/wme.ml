@@ -8,7 +8,7 @@ type t = {
 
 let make ~cls ~fields ~timetag = { cls; fields; timetag }
 
-let field t i = t.fields.(i)
+let[@inline] field t i = t.fields.(i)
 
 let same_contents a b =
   Sym.equal a.cls b.cls

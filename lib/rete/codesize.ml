@@ -51,6 +51,37 @@ let bytes_of_addition net (res : Build.add_result) =
     (fun acc nid -> acc + bytes_of_node net (Network.node net nid))
     0 res.Build.new_beta_nodes
 
+(* --- compiled-program (closure) sizes --------------------------------- *)
+
+(* The closure compiler's analogue of the byte model above: what the
+   node programs actually allocated, counted by [Program]'s size model
+   (closures and their heap words). Zero everywhere when the network
+   runs interpreted. *)
+
+type compiled_report = {
+  cp_programs : int;  (** nodes with an installed program *)
+  cp_closures : int;
+  cp_words : int;
+}
+
+let cp_empty = { cp_programs = 0; cp_closures = 0; cp_words = 0 }
+
+let cp_add net r nid =
+  match Program.node_entry net nid with
+  | None -> r
+  | Some _ ->
+    {
+      cp_programs = r.cp_programs + 1;
+      cp_closures = r.cp_closures + Program.node_closures net nid;
+      cp_words = r.cp_words + Program.node_words net nid;
+    }
+
+let compiled_report net =
+  Network.fold_nodes net ~init:cp_empty ~f:(fun r n -> cp_add net r n.Network.id)
+
+let compiled_of_production net (pm : Network.pmeta) =
+  List.fold_left (cp_add net) cp_empty pm.Network.created_nodes
+
 let bytes_per_two_input_node net (res : Build.add_result) =
   let total = ref 0 and count = ref 0 in
   List.iter

@@ -24,3 +24,23 @@ val bytes_of_addition : Network.t -> Build.add_result -> int
 val bytes_per_two_input_node : Network.t -> Build.add_result -> float
 (** Average over the two-input nodes created by the addition; [nan] if
     it created none. *)
+
+(** {2 Compiled node programs}
+
+    What the closure compiler ({!Program}) actually installed — the
+    paper's code-size-vs-learning measurement applied to the compiled
+    path. All zero when the network runs interpreted. *)
+
+type compiled_report = {
+  cp_programs : int;  (** nodes with an installed program *)
+  cp_closures : int;  (** closures those programs compiled to *)
+  cp_words : int;     (** modeled heap words of those closures *)
+}
+
+val compiled_report : Network.t -> compiled_report
+(** Totals over every live node of the network. *)
+
+val compiled_of_production : Network.t -> Network.pmeta -> compiled_report
+(** Programs of the nodes this production's addition created (shared
+    nodes are charged to the production that created them, mirroring
+    {!bytes_of_addition}). *)

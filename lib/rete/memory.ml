@@ -249,8 +249,10 @@ let left_iter t ~node ~khash f =
   (match idx_find l.lidx (bkey ~node ~khash) with
   | None -> ()
   | Some ps ->
+    (* index positions mirror swap_remove in lockstep, so they are
+       always < length under the line lock: unsafe_get is in-bounds *)
     for j = 0 to Vec.length ps - 1 do
-      let item = Vec.get l.left (Vec.get ps j) in
+      let item = Vec.unsafe_get l.left (Vec.unsafe_get ps j) in
       if item.ln = node && item.lkh = khash && item.entry.l_refs >= 1 then
         f item.entry
     done);
@@ -324,8 +326,9 @@ let right_iter t ~node ~khash f =
   (match idx_find l.ridx (bkey ~node ~khash) with
   | None -> ()
   | Some ps ->
+    (* same in-bounds argument as left_iter *)
     for j = 0 to Vec.length ps - 1 do
-      let item = Vec.get l.right (Vec.get ps j) in
+      let item = Vec.unsafe_get l.right (Vec.unsafe_get ps j) in
       if item.rn = node && item.rkh = khash && item.r_refs >= 1 then f item.payload
     done);
   scanned

@@ -45,7 +45,12 @@ type node = {
   kind : kind;
   parent : int option;
   alpha_src : int option;
-  mutable succs_rev : (int * port) list;
+  (* successor fan-out in registration order, kept as an immutable array
+     that is replaced wholesale when the wiring changes (build/update
+     time only): activation emit indexes it without allocating, and a
+     compiled node program can keep reading the field after a run-time
+     addition patches the fan-out (§5.1). *)
+  mutable succs : (int * port) array;
 }
 
 type config = {
@@ -55,11 +60,19 @@ type config = {
   bilinear_group : int;
   bilinear_min_ces : int;
   lines : int;
+  compiled : bool;
 }
 
 let default_config =
   { share = true; bilinear = false; bilinear_ctx = 3; bilinear_group = 3;
-    bilinear_min_ces = 8; lines = 512 }
+    bilinear_min_ces = 8; lines = 512; compiled = true }
+
+(* The jumptable of compiled node programs. The concrete constructor is
+   added by [Program] (which sits above this module); keeping the type
+   extensible here lets the network carry its dispatch table without a
+   dependency cycle. *)
+type jumptable = ..
+type jumptable += Jt_none
 
 type pmeta = {
   pnode : int;
@@ -79,6 +92,7 @@ type t = {
   prods : (Sym.t, pmeta) Hashtbl.t;
   mutable prod_order_rev : Sym.t list;
   share_index : (int * int, int list) Hashtbl.t;
+  mutable jumptable : jumptable;
 }
 
 let create ?(config = default_config) schema =
@@ -100,6 +114,7 @@ let create ?(config = default_config) schema =
     prods = Hashtbl.create 64;
     prod_order_rev = [];
     share_index = Hashtbl.create 256;
+    jumptable = Jt_none;
   }
 
 let next_id t = !(t.counter)
@@ -110,7 +125,7 @@ let alloc_id t =
   i
 
 let add_node t ~kind ~parent ~alpha_src =
-  let n = { id = alloc_id t; kind; parent; alpha_src; succs_rev = [] } in
+  let n = { id = alloc_id t; kind; parent; alpha_src; succs = [||] } in
   Hashtbl.replace t.beta n.id n;
   n
 
@@ -121,16 +136,20 @@ let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.beta
 
 let fold_nodes t ~init ~f = Hashtbl.fold (fun _ n acc -> f acc n) t.beta init
 
-let successors n = List.rev n.succs_rev
+let successor_array n = n.succs
+
+let successors n = Array.to_list n.succs
 
 let add_successor t ~of_ ~node:nid ~port =
   let p = node t of_ in
-  if not (List.exists (fun (i, _) -> i = nid) p.succs_rev) then
-    p.succs_rev <- (nid, port) :: p.succs_rev
+  if not (Array.exists (fun (i, _) -> i = nid) p.succs) then
+    p.succs <- Array.append p.succs [| (nid, port) |]
 
 let remove_successor t ~of_ ~node:nid =
   let p = node t of_ in
-  p.succs_rev <- List.filter (fun (i, _) -> i <> nid) p.succs_rev
+  if Array.exists (fun (i, _) -> i = nid) p.succs then
+    p.succs <-
+      Array.of_list (List.filter (fun (i, _) -> i <> nid) (Array.to_list p.succs))
 
 let productions t =
   List.rev_map (fun s -> Hashtbl.find t.prods s) t.prod_order_rev

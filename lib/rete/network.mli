@@ -60,7 +60,11 @@ type node = {
   kind : kind;
   parent : int option;     (** main (left) input node *)
   alpha_src : int option;  (** alpha memory feeding the right input *)
-  mutable succs_rev : (int * port) list;
+  mutable succs : (int * port) array;
+      (** successor fan-out in registration order; replaced wholesale
+          (never mutated in place) when run-time addition patches the
+          wiring, so activation emit and compiled node programs read it
+          without locking *)
 }
 
 type config = {
@@ -70,9 +74,20 @@ type config = {
   bilinear_group : int;  (** CEs per group *)
   bilinear_min_ces : int;  (** only restructure productions at least this long *)
   lines : int;           (** hash lines in the global memories *)
+  compiled : bool;
+      (** execute activations through closure-compiled node programs
+          (the PSM-E machine-code analogue, §4/§5.1); the interpreter
+          remains available as the oracle when [false] *)
 }
 
 val default_config : config
+
+type jumptable = ..
+(** Dispatch table of compiled node programs, indexed by node ID. The
+    concrete constructor lives in [Program]; the network only carries
+    the slot (see {!Program.table}). *)
+
+type jumptable += Jt_none
 
 type pmeta = {
   pnode : int;
@@ -95,6 +110,7 @@ type t = {
       (** (parent id, spec hash) -> candidate child ids; the compiler's
           O(1) share-point lookup (the builder still verifies specs
           structurally, so stale or colliding entries are harmless) *)
+  mutable jumptable : jumptable;
 }
 
 val create : ?config:config -> Schema.t -> t
@@ -116,6 +132,10 @@ val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a
 val successors : node -> (int * port) list
 (** In registration order. *)
 
+val successor_array : node -> (int * port) array
+(** The fan-out array itself (immutable; do not mutate). The hot path's
+    view of {!successors}. *)
+
 val add_successor : t -> of_:int -> node:int -> port:port -> unit
 val remove_successor : t -> of_:int -> node:int -> unit
 
@@ -127,6 +147,12 @@ val beta_node_count : t -> int
 val two_input_node_count : t -> int
 
 (** {2 Hash keys and test evaluation} *)
+
+val mix : int -> Value.t -> int
+(** One step of the khash fold. Exported so {!Program}'s specialized
+    khash closures compute bit-identical keys to the interpreter's. *)
+
+val id_seed : int -> int
 
 val khash_right : node -> Wme.t -> int
 val khash_left : node -> Token.t -> int

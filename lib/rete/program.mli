@@ -1,0 +1,106 @@
+(** Closure-compiled node programs — the PSM-E "machine code" analogue.
+
+    PSM-E compiles every Rete node to native code and splices newly
+    learned productions into a jumptable at run time (PAPER §4, §5.1).
+    The single-core OCaml analogue implemented here compiles each node's
+    test sequence ONCE — when the node is built, including nodes added
+    by chunking mid-run — into specialized closures:
+
+    - the [jtest]/[btest] chain is fused into one staged predicate that
+      extracts the activation-fixed operand's fields once per activation
+      and then runs monomorphically over every scanned candidate;
+    - khash extraction is specialized to the node's slot/field list and
+      constant-folds to the node's seed when the key is empty;
+    - successor fan-out reads the node's precomputed array, so emit
+      allocates only the task records.
+
+    Compiled programs live in a dispatch table indexed by node ID (the
+    jumptable) carried in [Network.t]. Handlers are bit-identical to the
+    [Runtime] interpreter in every measured respect — scanned counts,
+    accesses, children order, conflict-set transitions — so the
+    interpreter remains the differential oracle. *)
+
+(** {2 Outcome of one activation}
+
+    These are the canonical definitions; [Runtime] re-exports them. *)
+
+type access = {
+  acc_node : int;
+  acc_line : int;
+  acc_write : bool;
+  acc_locked : bool;
+}
+
+type outcome = {
+  children : Task.t array;
+  scanned : int;
+  matched : int;
+  insts : (Task.flag * Conflict_set.inst) list;
+  accesses : access list;
+}
+
+val no_children : outcome
+
+val set_lock_elision : bool -> unit
+(** Fault injection for the race detector's self-test (shared by the
+    compiled and interpreted paths). *)
+
+val lock_elision : unit -> bool
+
+val with_line : Memory.t -> line:int -> (unit -> 'a) -> 'a
+val access : node:int -> line:int -> access
+
+(** {2 Fan-out helpers}
+
+    Allocation-free except for the result array; also used by the
+    interpreter path in [Runtime]. Order: tokens in list order, each
+    fanned to all successors in registration order. *)
+
+val emit : Network.node -> Task.flag -> Token.t -> Task.t array
+val emit_all : Network.node -> Task.flag -> Token.t list -> Task.t array
+val emit_transitions :
+  Network.node -> (Task.flag * Token.t) list -> Task.t array
+
+(** {2 Compiled programs and the jumptable} *)
+
+type entry
+(** One node's compiled program: a handler per live port plus its
+    modeled size. *)
+
+type table
+(** The dispatch array of compiled programs, indexed by node ID. Grows
+    in place (by doubling) as run-time additions append nodes — the
+    table record's identity never changes, which is what "splice into
+    the jumptable" (§5.1) means here. *)
+
+type Network.jumptable += Table of table
+
+val run : entry -> Task.t -> outcome
+val find : Network.t -> int -> entry option
+(** [None] for never-compiled or excised nodes; callers fall back to
+    the interpreter. *)
+
+val compile_new : Network.t -> int list -> unit
+(** Compile and install programs for newly created nodes. No-op when
+    [config.compiled] is false, so the builder calls unconditionally. *)
+
+val compile_all : Network.t -> unit
+val clear_node : Network.t -> int -> unit
+(** Drop an excised node's program so queued tasks fall back to the
+    interpreter's excised-node handling. *)
+
+(** {2 Introspection (Codesize report, tests)} *)
+
+val table : Network.t -> table option
+val table_capacity : table -> int
+val table_count : table -> int
+val compiled_count : Network.t -> int
+
+val node_entry : Network.t -> int -> entry option
+val node_closures : Network.t -> int -> int
+(** Number of closures the node's program compiled to (0 if not
+    compiled). *)
+
+val node_words : Network.t -> int -> int
+(** Modeled heap words of those closures — the compiled-code analogue of
+    {!Codesize}'s per-node byte model. *)

@@ -1,48 +1,40 @@
 open Psme_ops5
 open Network
 
-type access = {
+(* The canonical access/outcome definitions moved to [Program] (the
+   compiled path); re-exported here with type equations so engines and
+   analyses keep reading [o.Runtime.children] etc. unchanged. *)
+
+type access = Program.access = {
   acc_node : int;
   acc_line : int;
   acc_write : bool;
   acc_locked : bool;
 }
 
-type outcome = {
-  children : Task.t list;
+type outcome = Program.outcome = {
+  children : Task.t array;
   scanned : int;
   matched : int;
   insts : (Task.flag * Conflict_set.inst) list;
   accesses : access list;
 }
 
-let no_children =
-  { children = []; scanned = 0; matched = 0; insts = []; accesses = [] }
+let no_children = Program.no_children
 
-(* Fault-injection hook for the race detector's self-test: when set, exec
-   sections run WITHOUT taking the line lock (and report their accesses as
-   unlocked). Never enable outside analysis tests. *)
-let elide = ref false
-let set_lock_elision b = elide := b
-let lock_elision () = !elide
+(* Fault-injection hook, shared with the compiled path (lives in
+   [Program] so both execution paths elide the same lock). *)
+let set_lock_elision = Program.set_lock_elision
+let lock_elision = Program.lock_elision
 
-let with_line net ~line f =
-  if !elide then f () else Memory.locked net.mem ~line f
+let with_line net ~line f = Program.with_line net.mem ~line f
+let access = Program.access
 
-let access ~node ~line =
-  { acc_node = node; acc_line = line; acc_write = true; acc_locked = not !elide }
-
-let emit n flag token =
-  List.rev_map
-    (fun (sid, port) ->
-      match port with
-      | P_left -> Task.Left { node = sid; flag; token }
-      | P_right -> Task.Rtok { node = sid; flag; token })
-    (List.rev (successors n))
-
-(* One child token fanned out to all successors. *)
-let emit_all n flag tokens =
-  List.concat_map (fun tok -> emit n flag tok) tokens
+(* Fan-out through the node's precomputed successor array; shared with
+   the compiled path so both emit in identical order (tokens in list
+   order, successors in registration order). *)
+let emit = Program.emit
+let emit_all = Program.emit_all
 
 (* --- entry ---------------------------------------------------------- *)
 
@@ -177,11 +169,9 @@ let exec_neg_right net n ti (flag : Task.flag) w =
                   if e.Memory.l_count = 0 then
                     transitions := (Task.Add, e.Memory.l_token) :: !transitions
                 end));
-  let children =
-    List.concat_map (fun (fl, tok) -> emit n fl tok) (List.rev !transitions)
-  in
-  { children; scanned = !scanned; matched = List.length !transitions; insts = [];
-    accesses = [ acc ] }
+  let transitions = List.rev !transitions in
+  { children = Program.emit_transitions n transitions; scanned = !scanned;
+    matched = List.length transitions; insts = []; accesses = [ acc ] }
 
 (* --- NCC ------------------------------------------------------------- *)
 
@@ -242,11 +232,9 @@ let exec_ncc_partner net n ~ncc ~prefix_len (flag : Task.flag) subtok =
                   if e.Memory.l_count = 0 then
                     transitions := (Task.Add, e.Memory.l_token) :: !transitions
                 end));
-  let children =
-    List.concat_map (fun (fl, tok) -> emit ncc_node fl tok) (List.rev !transitions)
-  in
-  { children; scanned = !scanned; matched = List.length !transitions; insts = [];
-    accesses = [ acc ] }
+  let transitions = List.rev !transitions in
+  { children = Program.emit_transitions ncc_node transitions; scanned = !scanned;
+    matched = List.length transitions; insts = []; accesses = [ acc ] }
 
 (* --- binary join (bilinear networks) --------------------------------- *)
 
@@ -373,11 +361,26 @@ let exec_dispatch net task =
       | Entry | Join _ | Neg _ | Ncc _ | Pnode _ ->
         invalid_arg "Runtime.exec: right token delivered to a non-binary node"))
 
+(* The jumptable dispatch (§5.1): a compiled program, when installed,
+   handles the task; never-compiled or excised nodes fall back to the
+   interpreter (whose beta lookup also absorbs tasks queued to excised
+   nodes). *)
 let exec net task =
+  let o =
+    match Program.find net (Task.node task) with
+    | Some p -> Program.run p task
+    | None -> exec_dispatch net task
+  in
+  Psme_obs.Metrics.incr m_tasks;
+  Psme_obs.Metrics.add m_scanned o.scanned;
+  Psme_obs.Metrics.add m_children (Array.length o.children);
+  o
+
+let exec_interpreted net task =
   let o = exec_dispatch net task in
   Psme_obs.Metrics.incr m_tasks;
   Psme_obs.Metrics.add m_scanned o.scanned;
-  Psme_obs.Metrics.add m_children (List.length o.children);
+  Psme_obs.Metrics.add m_children (Array.length o.children);
   o
 
 (* --- alpha seeding ------------------------------------------------------ *)

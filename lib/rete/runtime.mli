@@ -6,11 +6,16 @@
     memory happen under the entry's line lock, so concurrent executions
     of joinable activations produce each join result exactly once (see
     {!Memory}). Thread-safe: any number of match processes may call
-    [exec] concurrently. *)
+    [exec] concurrently.
+
+    Two execution paths produce bit-identical outcomes: the closure
+    compiler ({!Program}, the PSM-E machine-code analogue, selected by
+    [Network.config.compiled]) and the interpreter below, retained as
+    the differential oracle. *)
 
 open Psme_ops5
 
-type access = {
+type access = Program.access = {
   acc_node : int;   (** beta node owning the memory entries touched *)
   acc_line : int;   (** hash line (lock granule, §6.1) *)
   acc_write : bool; (** every exec section mutates (insert-then-probe) *)
@@ -20,8 +25,10 @@ type access = {
     Engines forward these to the trace as [Mem_access] events; the race
     detector replays them against the happens-before order. *)
 
-type outcome = {
-  children : Task.t list;
+type outcome = Program.outcome = {
+  children : Task.t array;
+      (** successor tasks, in emission order (tokens in production
+          order, successors in registration order) *)
   scanned : int;  (** opposite-memory entries scanned under the lock *)
   matched : int;  (** successful pairings (tokens emitted downstream) *)
   insts : (Task.flag * Conflict_set.inst) list;
@@ -33,11 +40,18 @@ type outcome = {
 }
 
 val exec : Network.t -> Task.t -> outcome
+(** Dispatches through the compiled node program when one is installed
+    (the §5.1 jumptable), falling back to the interpreter otherwise. *)
+
+val exec_interpreted : Network.t -> Task.t -> outcome
+(** Force the interpreter path regardless of installed programs — the
+    oracle side of differential tests. *)
 
 val set_lock_elision : bool -> unit
 (** Fault injection for the race detector's self-test: when enabled, exec
     critical sections skip the line lock and report their accesses with
-    [acc_locked = false]. Process-wide; reset to [false] after use. *)
+    [acc_locked = false]. Process-wide; reset to [false] after use.
+    Shared with the compiled path. *)
 
 val lock_elision : unit -> bool
 

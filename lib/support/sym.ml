@@ -30,7 +30,7 @@ let intern s =
         i)
 
 let name t = !names.(t)
-let equal (a : t) (b : t) = a = b
+let[@inline] equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (t : t) = t * 0x9e3779b1 land max_int
 let count () = Mutex.protect lock (fun () -> !next)

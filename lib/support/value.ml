@@ -4,7 +4,7 @@ type t =
   | Float of float
   | Str of string
 
-let equal a b =
+let[@inline] equal a b =
   match a, b with
   | Sym x, Sym y -> Sym.equal x y
   | Int x, Int y -> x = y

@@ -38,6 +38,8 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get";
   t.data.(i)
 
+let[@inline] unsafe_get t i = Array.unsafe_get t.data i
+
 let set t i x =
   if i < 0 || i >= t.len then invalid_arg "Vec.set";
   t.data.(i) <- x

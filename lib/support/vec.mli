@@ -16,6 +16,10 @@ val pop : 'a t -> 'a option
 (** Removes and returns the last element. *)
 
 val get : 'a t -> int -> 'a
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check. The index must already be known to be
+    [< length t] (e.g. a loop bound); for scan hot paths only. *)
+
 val set : 'a t -> int -> 'a -> unit
 val clear : 'a t -> unit
 val iter : ('a -> unit) -> 'a t -> unit
