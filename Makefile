@@ -2,7 +2,7 @@
 # must pass. Formatting is checked only when ocamlformat is installed
 # (the CI format job is advisory too).
 
-.PHONY: all build test fmt lint verify check bench bench-json bench-quick clean
+.PHONY: all build test fmt lint verify check bench bench-json bench-quick bench-gate clean
 
 all: build
 
@@ -38,6 +38,14 @@ bench-json:
 # Abbreviated run for CI artifacts
 bench-quick:
 	dune exec bench/main.exe -- --quick --json bench-quick.json
+
+# Perf gate against the committed baseline (section geomeans, 15%
+# tolerance; exit 0 pass / 1 regression / 2 baseline unreadable).
+# Override the baseline for a same-machine comparison:
+#   make bench-gate GATE_BASELINE=my-baseline.json
+GATE_BASELINE ?= BENCH_PR6.json
+bench-gate:
+	dune exec bench/main.exe -- --gate $(GATE_BASELINE)
 
 clean:
 	dune clean

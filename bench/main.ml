@@ -491,12 +491,39 @@ let e2e_series ~reps workloads =
 
 (* --- machine-readable output -------------------------------------------- *)
 
-let json_doc ~mode ~micro ~speedups ~e2e =
+(* Provenance: bench numbers are only comparable within one machine (and
+   really within one run — the container is multi-tenant), so each
+   document records where it came from. *)
+let machine_doc () =
+  let open Psme_obs.Json in
+  let proc_line path =
+    match open_in path with
+    | exception Sys_error _ -> Null
+    | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      if line = "" then Null else Str line
+  in
+  Obj
+    [
+      ( "os",
+        Str
+          (if Sys.file_exists "/proc/version" then "linux"
+           else String.lowercase_ascii Sys.os_type) );
+      ("kernel", proc_line "/proc/sys/kernel/osrelease");
+      ("arch", proc_line "/proc/sys/kernel/arch");
+      ("cores", Int (Domain.recommended_domain_count ()));
+    ]
+
+let json_doc ~mode ~micro ~speedups ~e2e ~telemetry =
   let open Psme_obs.Json in
   Obj
     [
       ("schema", Str "psme-bench/1");
       ("mode", Str mode);
+      ("machine", machine_doc ());
+      ( "telemetry",
+        Obj (List.map (fun (k, v) -> (k, Float v)) telemetry) );
       ( "e2e",
         List
           (List.map
@@ -572,10 +599,26 @@ let check_compiled micro =
 
 (* --- driver -------------------------------------------------------------- *)
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--check-compiled] [--json FILE]\n\
+    \       [--gate BASELINE.json] [--gate-tolerance X] [--gate-handicap X]";
+  exit 2
+
 let () =
   let quick = ref false in
   let json_path = ref None in
   let check = ref false in
+  let gate = ref None in
+  let gate_tolerance = ref Psme_harness.Perf_gate.default_tolerance in
+  let gate_handicap = ref 0. in
+  let float_arg name x =
+    match float_of_string_opt x with
+    | Some v -> v
+    | None ->
+      prerr_endline (name ^ ": not a number: " ^ x);
+      exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -587,16 +630,27 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse rest
-    | arg :: _ ->
-      prerr_endline ("unknown argument: " ^ arg);
-      prerr_endline "usage: main.exe [--quick] [--check-compiled] [--json FILE]";
-      exit 2
+    | "--gate" :: path :: rest ->
+      gate := Some path;
+      parse rest
+    | "--gate-tolerance" :: x :: rest ->
+      gate_tolerance := float_arg "--gate-tolerance" x;
+      parse rest
+    | "--gate-handicap" :: x :: rest ->
+      (* self-test hook: degrade every current number by x (e.g. 0.2 =
+         a seeded 20% uniform regression) and check the gate trips *)
+      gate_handicap := float_arg "--gate-handicap" x;
+      parse rest
+    | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let gating = !gate <> None in
   Format.printf "Soar/PSM-E reproduction — evaluation harness@.";
   Format.printf "(simulated Encore Multimax; see DESIGN.md for the cost model)@.";
-  if not !quick then Psme_harness.Experiments.print_all Format.std_formatter;
-  let quota = if !quick then 0.05 else 0.5 in
+  if (not !quick) && not gating then
+    Psme_harness.Experiments.print_all Format.std_formatter;
+  (* gate runs want turnaround, not paper tables: medium quotas *)
+  let quota = if !quick then 0.05 else if gating then 0.15 else 0.5 in
   let micro = run_micro ~quota in
   Format.printf "@.== micro-benchmarks (Bechamel, ns/iteration) ==@.";
   List.iter
@@ -609,12 +663,13 @@ let () =
     Format.printf "@.== compiled vs interpreted (kernel) ==@.";
     check_compiled micro
   end;
+  Psme_obs.Telemetry.reset Psme_obs.Telemetry.global;
   let e2e =
     let workloads =
       if !quick then [ Psme_workloads.Eight_puzzle.workload ]
       else [ Psme_workloads.Eight_puzzle.workload; Psme_workloads.Strips.workload ]
     in
-    let reps = if !quick then 1 else 3 in
+    let reps = if !quick then 1 else if gating then 2 else 3 in
     Format.printf "@.== end-to-end cycles/sec (serial, learning on) ==@.";
     let rs = e2e_series ~reps workloads in
     List.iter
@@ -625,6 +680,28 @@ let () =
           r.e2e_cps)
       rs;
     rs
+  in
+  (* allocation discipline over the e2e runs, from the always-on
+     telemetry layer: total attributed minor words per elaboration
+     cycle (lower is better; gated like any other benchmark) *)
+  let telemetry =
+    let tm = Psme_obs.Telemetry.global in
+    let kv = Psme_obs.Telemetry.snapshot_kv tm in
+    let get k = Option.value ~default:0. (List.assoc_opt k kv) in
+    let cycles = get "telemetry.cycles" in
+    if cycles <= 0. then []
+    else begin
+      let words =
+        List.fold_left
+          (fun a p ->
+            a +. get ("telemetry.phase." ^ Psme_obs.Telemetry.phase_name p ^ ".minor_words"))
+          0. Psme_obs.Telemetry.phases
+      in
+      let wpc = words /. cycles in
+      Format.printf "@.== telemetry (e2e runs) ==@.";
+      Format.printf "minor words / cycle %36.0f@." wpc;
+      [ ("minor_words_per_cycle", wpc) ]
+    end
   in
   let speedups =
     let procs_axis = if !quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 13 ] in
@@ -640,10 +717,71 @@ let () =
         (w.Psme_workloads.Workload.name, pts))
       workloads
   in
+  let mode = if !quick then "quick" else "full" in
+  let doc = json_doc ~mode ~micro ~speedups ~e2e ~telemetry in
   (match !json_path with
   | Some path ->
-    let mode = if !quick then "quick" else "full" in
-    write_json path (json_doc ~mode ~micro ~speedups ~e2e);
+    write_json path doc;
     Format.printf "@.wrote %s@." path
   | None -> ());
-  Format.printf "@.done.@."
+  let gate_status =
+    match !gate with
+    | None -> 0
+    | Some baseline_path ->
+      let read_file path =
+        match open_in path with
+        | exception Sys_error msg ->
+          Error msg
+        | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          Ok s
+      in
+      let result =
+        match read_file baseline_path with
+        | Error msg -> Error msg
+        | Ok src -> (
+          match Psme_harness.Perf_gate.doc_of_string src with
+          | Error msg -> Error (baseline_path ^ ": " ^ msg)
+          | Ok baseline ->
+            let current =
+              if !gate_handicap > 0. then begin
+                (* degrade every measured number by the handicap: worse
+                   is slower micro, fewer cycles/sec, lower speedup,
+                   more words per cycle *)
+                let h = 1. +. !gate_handicap in
+                let rec worsen path j =
+                  match j with
+                  | Psme_obs.Json.Obj fields ->
+                    Psme_obs.Json.Obj
+                      (List.map (fun (k, v) -> (k, worsen (k :: path) v)) fields)
+                  | Psme_obs.Json.List l ->
+                    Psme_obs.Json.List (List.map (worsen path) l)
+                  | Psme_obs.Json.Float x -> (
+                    match path with
+                    | "ns_per_run" :: _ | "minor_words_per_cycle" :: _ ->
+                      Psme_obs.Json.Float (x *. h)
+                    | "cycles_per_sec" :: _ | "speedup" :: _ ->
+                      Psme_obs.Json.Float (x /. h)
+                    | _ -> j)
+                  | _ -> j
+                in
+                worsen [] doc
+              end
+              else doc
+            in
+            Ok
+              (Psme_harness.Perf_gate.compare_docs ~tolerance:!gate_tolerance
+                 ~baseline ~current ()))
+      in
+      (match result with
+      | Error msg ->
+        Format.printf "@.perf gate: cannot gate: %s@." msg;
+        2
+      | Ok verdict ->
+        Format.printf "@.%a" Psme_harness.Perf_gate.pp verdict;
+        Psme_harness.Perf_gate.exit_code verdict)
+  in
+  Format.printf "@.done.@.";
+  exit gate_status

@@ -475,6 +475,74 @@ let trace_cmd =
       const trace_cmd_impl $ task_arg $ trace_engine_arg $ procs_arg $ queues_arg
       $ learning_arg $ async_arg $ trace_out_arg)
 
+(* --- telemetry ------------------------------------------------------------------- *)
+
+let telemetry_cmd_impl task engine procs queues learning async watch every json =
+  setup_logs false;
+  match find_workload task, parse_engine engine procs queues with
+  | Error e, _ | _, Error e -> prerr_endline e; 2
+  | Ok w, Ok engine_mode ->
+    let tm = Psme_obs.Telemetry.global in
+    Psme_obs.Telemetry.reset tm;
+    let config =
+      {
+        Agent.default_config with
+        Agent.learning;
+        engine_mode;
+        async_elaboration = async;
+      }
+    in
+    let agent = w.Workload.make ~config () in
+    if watch then begin
+      (* rolling deltas: one line per [every] decisions *)
+      let last = ref (Psme_obs.Telemetry.snapshot_kv tm) in
+      Agent.set_monitor agent (fun decisions ->
+          if decisions mod every = 0 then begin
+            let now = Psme_obs.Telemetry.snapshot_kv tm in
+            Format.printf "d%-5d %s@." decisions
+              (Psme_obs.Telemetry.delta_line ~before:!last ~after:now);
+            last := now
+          end)
+    end;
+    ignore (Agent.run agent);
+    if json then
+      Format.printf "%s@."
+        (Psme_obs.Json.to_string (Psme_obs.Telemetry.to_json tm))
+    else begin
+      if watch then Format.printf "@.";
+      Psme_obs.Telemetry.pp Format.std_formatter tm
+    end;
+    0
+
+let telemetry_cmd =
+  let doc =
+    "Run a task with the always-on telemetry layer and print its snapshot: \
+     per-phase allocation/GC accounting (match, conflict-resolution, act, \
+     chunk-splice), cycle/task/queue-dwell latency histograms with \
+     p50/p90/p99/max, and queue/lock contention counters."
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:"Print a rolling one-line delta during the run (per decision).")
+  in
+  let every =
+    Arg.(
+      value & opt int 1
+      & info [ "every" ] ~docv:"N" ~doc:"With $(b,--watch): print every $(docv) decisions.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the snapshot as JSON (schema psme-telemetry/1) instead of a table.")
+  in
+  Cmd.v (Cmd.info "telemetry" ~doc)
+    Term.(
+      const telemetry_cmd_impl $ task_arg $ engine_arg $ procs_arg $ queues_arg
+      $ learning_arg $ async_arg $ watch $ every $ json)
+
 (* --- parse ----------------------------------------------------------------------- *)
 
 let parse_cmd_impl file =
@@ -661,6 +729,7 @@ let main =
     [
       run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; profile_cmd;
       trace_cmd; dump_cmd; parse_cmd; check_cmd; lint_cmd; races_cmd;
+      telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

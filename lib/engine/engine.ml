@@ -42,7 +42,8 @@ let record t stats =
   Metrics.observe Metrics.global "engine.cycle.serial_us" stats.Cycle.serial_us;
   Metrics.observe Metrics.global "engine.cycle.makespan_us" stats.Cycle.makespan_us;
   if stats.Cycle.tasks > 0 then
-    Metrics.observe Metrics.global "engine.cycle.speedup" (Cycle.speedup stats);
+    Metrics.observe Metrics.global "engine.cycle.speedup_x" (Cycle.speedup stats);
+  Telemetry.record_cycle_us Telemetry.global stats.Cycle.makespan_us;
   stats
 
 (* Run one episode with cycle bracketing on the tracer: the engines emit
@@ -56,7 +57,9 @@ let with_cycle t run =
     Trace.set_base tr t.vclock_us;
     Trace.emit tr Trace.Cycle_begin ~t_us:0. ()
   | None -> ());
-  let stats = run () in
+  (* every engine episode is match work; the agent loop brackets its
+     other phases (conflict-resolution / act / chunk-splice) itself *)
+  let stats = Telemetry.with_phase Telemetry.global Telemetry.Match run in
   (match t.tracer with
   | Some tr ->
     Trace.emit tr Trace.Cycle_end ~t_us:stats.Cycle.makespan_us

@@ -22,7 +22,9 @@ val create : ?cost:Cost.params -> ?tracer:Psme_obs.Trace.t -> mode -> Network.t 
     makespan). All engines also feed the global {!Psme_obs.Metrics}
     registry (counters [engine.cycles], [engine.tasks], ...; gauges
     [engine.cycle.serial_us], [engine.cycle.makespan_us],
-    [engine.cycle.speedup]). *)
+    [engine.cycle.speedup_x]) and the always-on {!Psme_obs.Telemetry}
+    layer (cycle-latency histogram; each episode runs inside a [Match]
+    phase section for GC attribution). *)
 
 val network : t -> Network.t
 val mode : t -> mode

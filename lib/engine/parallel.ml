@@ -11,10 +11,11 @@ type config = {
   queues : queue_mode;
 }
 
-(* Queue items carry (id, parent, task) for the tracer's spawn DAG; ids
-   come from one atomic counter, so a parent's id is below its
-   children's. *)
-type item = int * int * Task.t
+(* Queue items carry (id, parent, push_ns, task): id/parent for the
+   tracer's spawn DAG (ids come from one atomic counter, so a parent's
+   id is below its children's), push_ns so the popper can record queue
+   dwell time into the telemetry layer. *)
+type item = int * int * int * Task.t
 
 (* Multiple_queues uses one Chase–Lev deque per worker: the owner
    pushes/pops its own deque lock-free and thieves CAS-steal the oldest
@@ -56,6 +57,12 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
   let serial_us_bits = Atomic.make 0 in
   (* accumulate µs as integer tenths to stay atomic *)
   let next_id = Atomic.make 0 in
+  (* Per-worker latency histograms, merged into the global telemetry
+     after join — exact counts without racing the single-writer
+     histograms from many domains. *)
+  let nproc = max 1 config.processes in
+  let task_h = Array.init nproc (fun _ -> Loghist.create ()) in
+  let dwell_h = Array.init nproc (fun _ -> Loghist.create ()) in
   (* Seeding happens before the workers spawn, so pushing into a
      worker's deque from here cannot race its owner. *)
   let seed_push qi item =
@@ -67,7 +74,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
     (fun i task ->
       Atomic.incr outstanding;
       let id = Atomic.fetch_and_add next_id 1 in
-      seed_push (i mod nq) (id, -1, task);
+      seed_push (i mod nq) (id, -1, Clock.now_ns (), task);
       match tracer with
       | Some tr ->
         Trace.emit tr Trace.Queue_push ~t_us:(now_us ()) ~proc:(-1)
@@ -97,7 +104,8 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
             if k >= nq then None
             else
               match probe k with
-              | Some (id, parent, task) ->
+              | Some (id, parent, push_ns, task) ->
+                Loghist.add dwell_h.(me) (Clock.now_ns () - push_ns);
                 (match tracer with
                 | Some tr ->
                   Trace.emit tr
@@ -127,7 +135,9 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
             Trace.emit tr Trace.Task_start ~t_us:start_us ~proc:me ~node
               ~task:id ~parent ()
           | None -> ());
+          let exec_t0 = Clock.now_ns () in
           let o = Runtime.exec net task in
+          Loghist.add task_h.(me) (Clock.now_ns () - exec_t0);
           Atomic.incr tasks_done;
           ignore (Atomic.fetch_and_add scanned o.Runtime.scanned);
           let kids = o.Runtime.children in
@@ -151,7 +161,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
           Array.iter
             (fun k ->
               let kid = Atomic.fetch_and_add next_id 1 in
-              push_child (kid, id, k);
+              push_child (kid, id, Clock.now_ns (), k);
               match tracer with
               | Some tr ->
                 Trace.emit tr Trace.Queue_push ~t_us:(now_us ()) ~proc:me
@@ -169,6 +179,27 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
   in
   List.iter Domain.join domains;
   let wall_ns = Clock.now_ns () - t0 in
+  (* fold per-worker histograms and queue contention into the global
+     telemetry; workers are joined, so the reads are exact *)
+  let tm = Telemetry.global in
+  Array.iter (fun h -> Loghist.merge_into ~into:(Telemetry.task_hist tm) h) task_h;
+  Array.iter (fun h -> Loghist.merge_into ~into:(Telemetry.dwell_hist tm) h) dwell_h;
+  (match queues with
+  | Shared _ ->
+    (* one mutex queue: every push/pop goes through it *)
+    Telemetry.add_queue_pushes tm (Atomic.get next_id);
+    Telemetry.add_queue_pops tm (Atomic.get tasks_done)
+  | Deques ds ->
+    Array.iter
+      (fun d ->
+        let s = Ws_deque.stats d in
+        Telemetry.add_queue_pushes tm s.Ws_deque.pushes;
+        Telemetry.add_queue_pops tm s.Ws_deque.pops;
+        Telemetry.add_pop_races tm s.Ws_deque.pop_races;
+        Telemetry.add_steal_attempts tm s.Ws_deque.steal_attempts;
+        Telemetry.add_steals tm s.Ws_deque.steals;
+        Telemetry.add_steal_cas_failures tm s.Ws_deque.steal_cas_failures)
+      ds);
   {
     Cycle.empty with
     tasks = Atomic.get tasks_done;

@@ -35,6 +35,7 @@ let run_tasks ?(cost = Cost.default) ?tracer net seed =
       let o = Runtime.exec net task in
       incr tasks;
       let c = Cost.task_cost cost kind o in
+      Telemetry.record_task_us Telemetry.global c;
       let nkids = Array.length o.Runtime.children in
       (match tracer with
       | Some tr ->
@@ -95,6 +96,7 @@ let run_changes_async ?(cost = Cost.default) ?tracer net ~on_inst changes =
       let o = Runtime.exec net task in
       incr tasks;
       let c = Cost.task_cost cost kind o in
+      Telemetry.record_task_us Telemetry.global c;
       let nkids = Array.length o.Runtime.children in
       (match tracer with
       | Some tr ->

@@ -8,11 +8,13 @@ type config = {
   collect_trace : bool;
 }
 
-(* Queue items carry (id, parent, task): serial numbers are assigned at
-   spawn time, so a parent's id is always below its children's — the
-   invariant the critical-path analyzer relies on. *)
+(* Queue items carry (id, parent, push_t_us, task): serial numbers are
+   assigned at spawn time, so a parent's id is always below its
+   children's — the invariant the critical-path analyzer relies on —
+   and the virtual push time lets the popper record queue dwell into
+   the telemetry layer. *)
 type squeue = {
-  items : (int * int * Task.t) Vec.t;
+  items : (int * int * float * Task.t) Vec.t;
   mutable busy_until : float;
 }
 
@@ -42,7 +44,7 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
     (fun i task ->
       incr outstanding;
       let id = fresh () in
-      Vec.push queues.(i mod nq).items (id, -1, task);
+      Vec.push queues.(i mod nq).items (id, -1, 0., task);
       match tracer with
       | Some tr ->
         (* seeds are placed by the control process before time starts *)
@@ -60,6 +62,10 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
   let emitted = ref 0 in
   let spins = ref 0. in
   let failed_pops = ref 0 in
+  let pops = ref 0 in
+  let steal_attempts = ref 0 in
+  (* probes of a non-own queue (k > 0); successful ones are steals *)
+  let steals = ref 0 in
   let makespan = ref 0. in
   let alpha = ref 0 in
   let pending_injections = ref 0 in
@@ -88,7 +94,7 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
   let push_child q ~proc ~parent ~at task =
     let t = queue_access q ~proc ~at in
     let id = fresh () in
-    Vec.push q.items (id, parent, task);
+    Vec.push q.items (id, parent, t, task);
     incr outstanding;
     (match tracer with
     | Some tr ->
@@ -134,6 +140,7 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
           else begin
             let q = queues.((my_queue proc + k) mod nq) in
             let t = queue_access q ~proc ~at:t in
+            (if k > 0 then incr steal_attempts);
             match Vec.pop q.items with
             | None ->
               incr failed_pops;
@@ -142,7 +149,11 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
                 Trace.emit tr Trace.Queue_failed_pop ~t_us:t ~proc ()
               | None -> ());
               scan (k + 1) t
-            | Some (id, parent, task) ->
+            | Some (id, parent, push_t, task) ->
+              incr pops;
+              (if k > 0 then incr steals);
+              (* dwell is virtual: pop time minus push time *)
+              Telemetry.record_dwell_us Telemetry.global (t -. push_t);
               let node = Task.node task in
               let kind = (Network.node net node).Network.kind in
               (match tracer with
@@ -159,6 +170,7 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
               let nkids = Array.length o.Runtime.children in
               emitted := !emitted + nkids;
               let c = Cost.task_cost cost kind o in
+              Telemetry.record_task_us Telemetry.global c;
               serial_us := !serial_us +. c;
               (match tracer with
               | Some tr ->
@@ -214,6 +226,11 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
   in
   loop ();
   sample !makespan;
+  let tm = Telemetry.global in
+  Telemetry.add_queue_pushes tm !next_id;
+  Telemetry.add_queue_pops tm !pops;
+  Telemetry.add_steal_attempts tm !steal_attempts;
+  Telemetry.add_steals tm !steals;
   {
     Cycle.tasks = !tasks_done;
     alpha_activations = !alpha;

@@ -1,0 +1,56 @@
+(** Perf gate: compare bench documents against a committed baseline.
+
+    Drives [bench/main.exe --gate BASELINE.json]. The verdict is on the
+    {e geometric mean} of per-benchmark ratios within each section
+    (e2e, micro, speedup, telemetry) — single-benchmark jitter on
+    shared CI runners routinely exceeds any usable tolerance, while a
+    real uniform slowdown of x shifts a section's geomean by exactly x.
+    Individual outliers are reported as advisories, not failures. Every
+    ratio is oriented so > 1 means "worse" (cycles/sec and speedups
+    invert; ns/run and words/cycle do not). Only benchmarks present in
+    both documents are compared, so the suite can grow without
+    invalidating old baselines. *)
+
+type comparison = {
+  c_section : string;
+  c_name : string;
+  c_base : float;
+  c_cur : float;
+  c_ratio : float;  (** > 1 = regression, orientation already applied *)
+}
+
+type section_verdict = {
+  s_section : string;
+  s_count : int;
+  s_geomean : float;
+  s_worst : comparison option;  (** highest ratio, when over tolerance *)
+}
+
+type verdict = {
+  v_sections : section_verdict list;
+  v_advisories : comparison list;
+      (** individual benchmarks over tolerance — informational *)
+  v_tolerance : float;
+  v_passed : bool;
+}
+
+val default_tolerance : float
+(** 0.15: a section fails when its geomean ratio exceeds 1.15. *)
+
+val doc_of_string : string -> (Psme_obs.Json.t, string) result
+(** Parse a bench JSON document. Accepts schema ["psme-bench/1"]
+    directly and ["psme-bench-compare/1"] (unwrapping its ["after"]
+    section). *)
+
+val compare_docs :
+  ?tolerance:float ->
+  baseline:Psme_obs.Json.t ->
+  current:Psme_obs.Json.t ->
+  unit ->
+  verdict
+(** Raises [Invalid_argument] unless [tolerance] is in (0, 1). *)
+
+val pp : Format.formatter -> verdict -> unit
+
+val exit_code : verdict -> int
+(** 0 pass, 1 regression. (Callers use 2 for baseline/usage errors.) *)

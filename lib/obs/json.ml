@@ -59,11 +59,14 @@ let to_string j =
   to_buffer buf j;
   Buffer.contents buf
 
-(* --- validation ------------------------------------------------------- *)
+(* --- parsing ----------------------------------------------------------- *)
 
 exception Bad of int * string
 
-let validate s =
+(* Recursive-descent parser building the document tree. Numbers without
+   a fraction or exponent become [Int] (so round-trips of the emitter's
+   output preserve constructors); everything else becomes [Float]. *)
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -86,6 +89,7 @@ let validate s =
   in
   let string_body () =
     expect '"';
+    let buf = Buffer.create 16 in
     let rec go () =
       match peek () with
       | None -> fail "unterminated string"
@@ -93,24 +97,54 @@ let validate s =
       | Some '\\' -> (
         advance ();
         match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+        | Some (('"' | '\\' | '/') as c) ->
+          Buffer.add_char buf c;
           advance ();
           go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
         | Some 'u' ->
           advance ();
+          let code = ref 0 in
           for _ = 1 to 4 do
             match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | Some ('0' .. '9' as c) ->
+              code := (!code * 16) + (Char.code c - Char.code '0');
+              advance ()
+            | Some ('a' .. 'f' as c) ->
+              code := (!code * 16) + (Char.code c - Char.code 'a' + 10);
+              advance ()
+            | Some ('A' .. 'F' as c) ->
+              code := (!code * 16) + (Char.code c - Char.code 'A' + 10);
+              advance ()
             | _ -> fail "bad \\u escape"
           done;
+          (* UTF-8 encode the code point (no surrogate pairing: the
+             emitter only writes \u for control chars) *)
+          let c = !code in
+          if c < 0x80 then Buffer.add_char buf (Char.chr c)
+          else if c < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xc0 lor (c lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3f)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xe0 lor (c lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3f)))
+          end;
           go ()
         | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control char in string"
-      | Some _ ->
+      | Some c ->
+        Buffer.add_char buf c;
         advance ();
         go ()
     in
-    go ()
+    go ();
+    Buffer.contents buf
   in
   let digits () =
     let start = !pos in
@@ -125,72 +159,112 @@ let validate s =
     if !pos = start then fail "expected digit"
   in
   let number () =
+    let start = !pos in
     (match peek () with Some '-' -> advance () | _ -> ());
     digits ();
+    let fractional = ref false in
     (match peek () with
     | Some '.' ->
+      fractional := true;
       advance ();
       digits ()
     | _ -> ());
-    match peek () with
+    (match peek () with
     | Some ('e' | 'E') ->
+      fractional := true;
       advance ();
       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
       digits ()
-    | _ -> ()
+    | _ -> ());
+    let lit = String.sub s start (!pos - start) in
+    if !fractional then Float (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit) (* out of int range *)
   in
   let rec value () =
     skip_ws ();
-    (match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      (match peek () with
-      | Some '}' -> advance ()
-      | _ ->
-        let rec members () =
-          skip_ws ();
-          string_body ();
-          skip_ws ();
-          expect ':';
-          value ();
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ()
-          | Some '}' -> advance ()
-          | _ -> fail "expected ',' or '}'"
-        in
-        members ())
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      (match peek () with
-      | Some ']' -> advance ()
-      | _ ->
-        let rec elements () =
-          value ();
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements ()
-          | Some ']' -> advance ()
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements ())
-    | Some '"' -> string_body ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> number ()
-    | Some c -> fail (Printf.sprintf "unexpected %C" c));
-    skip_ws ()
+    let v =
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        (match peek () with
+        | Some '}' ->
+          advance ();
+          Obj []
+        | _ ->
+          let rec members acc =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            let acc = (k, v) :: acc in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members acc
+            | Some '}' ->
+              advance ();
+              Obj (List.rev acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          members [])
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        (match peek () with
+        | Some ']' ->
+          advance ();
+          List []
+        | _ ->
+          let rec elements acc =
+            let v = value () in
+            let acc = v :: acc in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements acc
+            | Some ']' ->
+              advance ();
+              List (List.rev acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements [])
+      | Some '"' -> Str (string_body ())
+      | Some 't' ->
+        literal "true";
+        Bool true
+      | Some 'f' ->
+        literal "false";
+        Bool false
+      | Some 'n' ->
+        literal "null";
+        Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    skip_ws ();
+    v
   in
   try
-    value ();
+    let v = value () in
     if !pos <> n then Error (Printf.sprintf "trailing data at byte %d" !pos)
-    else Ok ()
+    else Ok v
   with Bad (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
+
+let validate s = Result.map ignore (parse s)
+
+(* --- tree accessors ----------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float x -> Some x
+  | _ -> None

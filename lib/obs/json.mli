@@ -29,8 +29,23 @@ val escape_to_buffer : Buffer.t -> string -> unit
 val float_to_buffer : Buffer.t -> float -> unit
 (** Append a float literal ([null] when not finite). *)
 
-(** {2 Validation} *)
+(** {2 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document into a tree. Numbers without a
+    fraction or exponent become [Int], others [Float] (so round-trips
+    of this module's own output preserve constructors); [\u] escapes
+    are decoded to UTF-8. Errors report a byte offset. *)
 
 val validate : string -> (unit, string) result
 (** Check that the whole input is one well-formed JSON document.
     Errors report a byte offset. *)
+
+(** {2 Tree accessors} *)
+
+val member : string -> t -> t option
+(** [member k j] is field [k] of object [j]; [None] on non-objects or
+    missing fields. *)
+
+val to_float_opt : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)

@@ -1,0 +1,137 @@
+(* Log-scale histogram in the HdrHistogram style: 16 sub-buckets per
+   power of two, so every recorded value lands in a bucket whose width
+   is at most 1/16 (6.25%) of its magnitude. Values 0..15 get exact
+   unit buckets. The bucket array is preallocated at [create]; [add]
+   touches one array slot and a handful of immediate (unboxed) fields,
+   so the record path allocates nothing — the property the telemetry
+   layer's always-on latency histograms rely on (asserted by a test
+   that diffs [Gc.minor_words] across a burst of records).
+
+   Not thread-safe: concurrent [add]s may lose counts (plain int
+   stores). The engines either record from one domain or accept the
+   statistical undercount; exact counters stay in [Atomic.t]s. *)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits (* 16 sub-buckets per octave *)
+
+(* octaves for msb positions 4..61 after the 16 unit buckets *)
+let n_buckets = sub + ((62 - sub_bits) * sub)
+
+let create () =
+  { counts = Array.make n_buckets 0; total = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+(* Highest set bit position of v > 0, branch-reduced and allocation-free
+   (all locals are immediates). *)
+let msb v =
+  let a = if v lsr 32 <> 0 then 32 else 0 in
+  let v1 = v lsr a in
+  let b = if v1 lsr 16 <> 0 then 16 else 0 in
+  let v2 = v1 lsr b in
+  let c = if v2 lsr 8 <> 0 then 8 else 0 in
+  let v3 = v2 lsr c in
+  let d = if v3 lsr 4 <> 0 then 4 else 0 in
+  let v4 = v3 lsr d in
+  let e = if v4 lsr 2 <> 0 then 2 else 0 in
+  let v5 = v4 lsr e in
+  let f = if v5 lsr 1 <> 0 then 1 else 0 in
+  a + b + c + d + e + f
+
+let index_of v =
+  if v < sub then v
+  else begin
+    let m = msb v in
+    let i = ((m - (sub_bits - 1)) * sub) + ((v lsr (m - sub_bits)) land (sub - 1)) in
+    if i >= n_buckets then n_buckets - 1 else i
+  end
+
+(* Inclusive lower bound of bucket [i]. *)
+let lower_of i =
+  if i < sub then i
+  else begin
+    let oct = (i / sub) - 1 in
+    let s = i land (sub - 1) in
+    (sub + s) lsl oct
+  end
+
+(* Exclusive upper bound of bucket [i]. *)
+let upper_of i = if i < sub then i + 1 else lower_of i + (1 lsl ((i / sub) - 1))
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.total
+let max t = if t.total = 0 then 0 else t.vmax
+let min t = if t.total = 0 then 0 else t.vmin
+let sum t = t.sum
+let mean t = if t.total = 0 then 0. else float_of_int t.sum /. float_of_int t.total
+
+(* Value at percentile p (0..100]: the smallest bucket whose cumulative
+   count reaches rank = ceil(p/100 * total). Within the bucket the
+   midpoint is reported, except that the histogram's tracked extremes
+   make p=100 exact and single-bucket distributions collapse to the
+   bucket. *)
+let percentile t p =
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg "Loghist.percentile: p must be in [0, 100]";
+  if t.total = 0 then Float.nan
+  else if p >= 100. then float_of_int t.vmax
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int t.total)) in
+      if r < 1 then 1 else r
+    in
+    let rec walk i acc =
+      if i >= n_buckets then float_of_int t.vmax
+      else begin
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then begin
+          let lo = lower_of i and hi = upper_of i in
+          (* width-1 buckets hold exactly one integer value; wider ones
+             report their midpoint, clamped to the observed extremes so
+             tiny histograms stay exact *)
+          let mid =
+            if hi - lo <= 1 then float_of_int lo
+            else float_of_int (lo + hi) /. 2.
+          in
+          Float.min (float_of_int t.vmax) (Float.max (float_of_int t.vmin) mid)
+        end
+        else walk (i + 1) acc
+      end
+    in
+    walk 0 0
+  end
+
+let reset t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- 0
+
+let iter_nonempty f t =
+  Array.iteri
+    (fun i n -> if n > 0 then f ~lower:(lower_of i) ~upper:(upper_of i) ~count:n)
+    t.counts
+
+let merge_into ~into t =
+  Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) t.counts;
+  into.total <- into.total + t.total;
+  into.sum <- into.sum + t.sum;
+  if t.total > 0 then begin
+    if t.vmin < into.vmin then into.vmin <- t.vmin;
+    if t.vmax > into.vmax then into.vmax <- t.vmax
+  end

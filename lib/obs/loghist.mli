@@ -1,0 +1,46 @@
+(** Log-scale latency/size histogram (HdrHistogram style).
+
+    Buckets are preallocated: 16 exact unit buckets for values 0..15,
+    then 16 sub-buckets per power of two, bounding relative bucket
+    width at 6.25%. {!add} writes one array slot and a few immediate
+    fields — {e zero allocation}, cheap enough to leave on in the match
+    hot path. Percentile extraction ({!percentile}) is exact to bucket
+    resolution; {!max} and {!min} are exact (tracked separately).
+
+    Values are non-negative integers; the telemetry layer records
+    nanoseconds (histogram names carry the unit of the {e exported}
+    figures, e.g. [..._us] when the snapshot divides by 1000). Negative
+    inputs clamp to 0. Not thread-safe: racing [add]s may drop counts;
+    treat concurrent use as statistical sampling. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one value. Allocation-free. *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+
+val min : t -> int
+(** Exact smallest recorded value; 0 when empty. *)
+
+val max : t -> int
+(** Exact largest recorded value; 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for p in [0,100]: bucket-midpoint estimate, exact
+    to bucket resolution; [p = 100] returns the exact max. NaN when
+    empty. *)
+
+val reset : t -> unit
+
+val iter_nonempty : (lower:int -> upper:int -> count:int -> unit) -> t -> unit
+(** Visit non-empty buckets in ascending value order ([lower] inclusive,
+    [upper] exclusive). *)
+
+val merge_into : into:t -> t -> unit
+(** Add every bucket of the argument into [into] (for per-domain
+    histograms folded at a barrier). *)

@@ -1,7 +1,15 @@
 (** Metrics registry: named counters, gauges and probes.
 
     Every subsystem that wants its internals visible registers here
-    under a dotted name ("rete.runtime.tasks", "engine.makespan_us").
+    under a dotted name ("rete.runtime.tasks",
+    "engine.cycle.makespan_us"). {b Unit convention}: any metric whose
+    value is not a plain count carries its unit as a name suffix —
+    [_us] for microseconds (matching the Chrome-trace exporter, whose
+    [ts]/[dur] fields are microseconds by spec), [_ns] for nanoseconds,
+    [_words] for heap words, [_x] for dimensionless ratios. Bare names
+    are counts. {!Psme_obs.Telemetry.snapshot_kv} follows the same
+    convention.
+
     Three metric shapes cover the codebase:
 
     - {e counters} — monotone atomic integers, safe to bump from any

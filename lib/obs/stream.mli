@@ -39,3 +39,21 @@ val iter_kind : Trace.kind -> (Trace.event -> unit) -> Trace.event array -> unit
 val procs : Trace.event array -> int list
 (** Distinct [proc] values appearing in the stream, ascending. Includes
     [-1] (the control process) when present. *)
+
+(** {2 Binary persistence}
+
+    Fixed-size little-endian records behind the magic ["PSMEEVS1"], so a
+    capture can be written to disk and re-analysed offline. Kind tags
+    come from {!Trace.kind_to_int} and are append-only. *)
+
+val encode : Trace.event array -> string
+
+val decode : string -> (Trace.event array, string) result
+(** Errors (never exceptions) on a bad magic, a truncated header or
+    event record, an unknown kind tag, or trailing bytes beyond the
+    header's event count. *)
+
+val write_file : string -> Trace.event array -> unit
+
+val read_file : string -> (Trace.event array, string) result
+(** [Error] also covers an unopenable file. *)

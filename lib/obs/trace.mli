@@ -38,6 +38,14 @@ type kind =
 
 val kind_name : kind -> string
 
+val kind_to_int : kind -> int
+(** Stable wire tag, 0-based in declaration order. New kinds must be
+    appended, never renumbered: {!Stream} persists these tags. *)
+
+val kind_of_int : int -> kind
+(** Inverse of {!kind_to_int}; raises [Invalid_argument] on an unknown
+    tag. *)
+
 type event = {
   t_us : float;  (** global virtual time *)
   kind : kind;

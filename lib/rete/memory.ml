@@ -163,14 +163,18 @@ let line_of t ~khash = khash land t.mask
 
 let locked t ~line f =
   let l = t.lines.(line) in
+  let tm = Psme_obs.Telemetry.global in
+  Psme_obs.Telemetry.incr_lock_acquired tm;
   if not (Mutex.try_lock l.lock) then begin
     (* Spin as the paper's processes do, counting attempts. *)
+    Psme_obs.Telemetry.incr_lock_contended tm;
     let spun = ref 0 in
     while not (Mutex.try_lock l.lock) do
       incr spun;
       Domain.cpu_relax ()
     done;
-    Atomic.fetch_and_add t.spins !spun |> ignore
+    Atomic.fetch_and_add t.spins !spun |> ignore;
+    Psme_obs.Telemetry.add_lock_spins tm !spun
   end;
   Fun.protect ~finally:(fun () -> Mutex.unlock l.lock) f
 

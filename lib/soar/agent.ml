@@ -91,6 +91,9 @@ type t = {
   mutable decisions : int;
   mutable elab_cycles : int;
   mutable input_fn : (int -> (string * Sym.t * string * Value.t) list) option;
+  mutable monitor : (int -> unit) option;
+      (* called after every decision with the running count; drives the
+         CLI's telemetry watch mode *)
 }
 
 let goal_cls = "goal"
@@ -270,6 +273,7 @@ let create ?(config = default_config) schema productions =
       decisions = 0;
       elab_cycles = 0;
       input_fn = None;
+      monitor = None;
     }
   in
   (* the top goal *)
@@ -289,7 +293,7 @@ let instantiation_level t (inst : Conflict_set.inst) =
     (fun acc w -> max acc (wme_level t w))
     1 (Token.wmes inst.Conflict_set.token)
 
-let fire_instantiation t (inst : Conflict_set.inst) =
+let fire_instantiation_unmetered t (inst : Conflict_set.inst) =
   let pm =
     match Network.find_production t.net inst.Conflict_set.prod with
     | Some pm -> pm
@@ -351,6 +355,11 @@ let fire_instantiation t (inst : Conflict_set.inst) =
              (Sym.name prod.Production.name)))
     prod.Production.rhs
 
+(* RHS firing is the telemetry "act" phase. *)
+let fire_instantiation t inst =
+  Psme_obs.Telemetry.with_phase Psme_obs.Telemetry.global Psme_obs.Telemetry.Act
+    (fun () -> fire_instantiation_unmetered t inst)
+
 (* --- chunking --------------------------------------------------------------- *)
 
 (* Compile one chunk into the network; its state update runs batched
@@ -394,7 +403,7 @@ let compile_chunk t grounds (result : Wme.t) =
       Some (prod, res)
     end
 
-let build_pending_chunks t =
+let build_pending_chunks_unmetered t =
   let results = List.rev t.pending_results in
   t.pending_results <- [];
   if t.cfg.learning && results <> [] then begin
@@ -435,6 +444,13 @@ let build_pending_chunks t =
             Conflict_set.mark_fired t.net.Network.cs inst)
         (Conflict_set.pending t.net.Network.cs)
   end
+
+(* Chunk compilation + network splice is the "chunk-splice" phase; the
+   nested match episode it runs (memory update) opens its own [Match]
+   section, and the telemetry layer attributes exclusively. *)
+let build_pending_chunks t =
+  Psme_obs.Telemetry.with_phase Psme_obs.Telemetry.global
+    Psme_obs.Telemetry.Chunk_splice (fun () -> build_pending_chunks_unmetered t)
 
 (* --- elaboration ----------------------------------------------------------- *)
 
@@ -615,7 +631,7 @@ let rejected_in votes v =
     (fun (vote, _) -> vote.Prefs.ptype = Prefs.Reject && Value.equal vote.Prefs.value v)
     votes
 
-let decision_phase t =
+let decision_phase_unmetered t =
   let outcome = ref Nothing in
   (try
      List.iter
@@ -666,9 +682,15 @@ let decision_phase t =
    with Exit -> ());
   !outcome
 
+(* The decision procedure is the "conflict-resolution" phase. *)
+let decision_phase t =
+  Psme_obs.Telemetry.with_phase Psme_obs.Telemetry.global
+    Psme_obs.Telemetry.Conflict_resolution (fun () -> decision_phase_unmetered t)
+
 (* --- top level -------------------------------------------------------------- *)
 
 let set_input t f = t.input_fn <- Some f
+let set_monitor t f = t.monitor <- Some f
 
 let inject_input t =
   match t.input_fn with
@@ -691,7 +713,7 @@ let run t =
     if t.cfg.async_elaboration then elaboration_phase_async t else elaboration_phase t;
     if t.halted then continue_ := false
     else begin
-      match decision_phase t with
+      (match decision_phase t with
       | Decided | Impassed -> t.decisions <- t.decisions + 1
       | Nothing ->
         (* with an input function attached, quiescence without a decision
@@ -700,7 +722,8 @@ let run t =
           stalled := true;
           continue_ := false
         end
-        else t.decisions <- t.decisions + 1
+        else t.decisions <- t.decisions + 1);
+      match t.monitor with Some f -> f t.decisions | None -> ()
     end
   done;
   let take n l = List.filteri (fun i _ -> i < List.length l - n) l in

@@ -103,6 +103,11 @@ val set_input : t -> (int -> (string * Sym.t * string * Value.t) list) -> unit
     for input instead of stalling; the run ends at the decision limit or
     a [(halt)]. *)
 
+val set_monitor : t -> (int -> unit) -> unit
+(** Attach a per-decision callback: after every decision cycle it is
+    called with the running decision count. Drives the CLI's telemetry
+    watch mode (rolling delta lines during long runs). *)
+
 val run : t -> run_summary
 (** Run decision cycles until halt, stall, or the decision limit. May be
     called again to continue (e.g. after adding more wmes). *)

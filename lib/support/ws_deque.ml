@@ -13,10 +13,29 @@
 
 type 'a buf = { arr : 'a option array; mask : int }
 
+type stats = {
+  pushes : int;
+  pops : int;
+  pop_races : int;
+  steal_attempts : int;
+  steals : int;
+  steal_cas_failures : int;
+}
+
 type 'a t = {
   top : int Atomic.t;
   bottom : int Atomic.t;  (* written only by the owner *)
   buf : 'a buf Atomic.t;
+  (* contention counters; owner-side ones are plain fields (single
+     writer), thief-side ones are atomic. Bumps are unconditional —
+     the telemetry layer keeps them always-on, so they must stay a
+     couple of plain increments, not a branch on a flag. *)
+  mutable n_pushes : int;
+  mutable n_pops : int;
+  mutable n_pop_races : int; (* owner lost the last-element CAS *)
+  n_steal_attempts : int Atomic.t; (* probes that saw a non-empty deque *)
+  n_steals : int Atomic.t;
+  n_steal_cas_failures : int Atomic.t; (* probes that lost the top CAS *)
 }
 
 let create ?(capacity = 256) () =
@@ -28,6 +47,12 @@ let create ?(capacity = 256) () =
     top = Atomic.make 0;
     bottom = Atomic.make 0;
     buf = Atomic.make { arr = Array.make cap None; mask = cap - 1 };
+    n_pushes = 0;
+    n_pops = 0;
+    n_pop_races = 0;
+    n_steal_attempts = Atomic.make 0;
+    n_steals = Atomic.make 0;
+    n_steal_cas_failures = Atomic.make 0;
   }
 
 let grow q bf t b =
@@ -45,6 +70,7 @@ let push q x =
   let bf = Atomic.get q.buf in
   let bf = if b - t > bf.mask then grow q bf t b else bf in
   bf.arr.(b land bf.mask) <- Some x;
+  q.n_pushes <- q.n_pushes + 1;
   Atomic.set q.bottom (b + 1)
 
 let pop q =
@@ -62,6 +88,7 @@ let pop q =
     let x = bf.arr.(i) in
     if b > t then begin
       bf.arr.(i) <- None;
+      q.n_pops <- q.n_pops + 1;
       x
     end
     else begin
@@ -70,9 +97,13 @@ let pop q =
       Atomic.set q.bottom (t + 1);
       if won then begin
         bf.arr.(i) <- None;
+        q.n_pops <- q.n_pops + 1;
         x
       end
-      else None
+      else begin
+        q.n_pop_races <- q.n_pop_races + 1;
+        None
+      end
     end
   end
 
@@ -81,13 +112,31 @@ let steal q =
   let b = Atomic.get q.bottom in
   if b - t <= 0 then None
   else begin
+    Atomic.incr q.n_steal_attempts;
     let bf = Atomic.get q.buf in
     let x = bf.arr.(t land bf.mask) in
-    if Atomic.compare_and_set q.top t (t + 1) then x
-    else None (* lost the race; treat as a failed probe, do not spin *)
+    if Atomic.compare_and_set q.top t (t + 1) then begin
+      Atomic.incr q.n_steals;
+      x
+    end
+    else begin
+      (* lost the race; treat as a failed probe, do not spin *)
+      Atomic.incr q.n_steal_cas_failures;
+      None
+    end
   end
 
 let size q =
   let b = Atomic.get q.bottom in
   let t = Atomic.get q.top in
   max 0 (b - t)
+
+let stats q =
+  {
+    pushes = q.n_pushes;
+    pops = q.n_pops;
+    pop_races = q.n_pop_races;
+    steal_attempts = Atomic.get q.n_steal_attempts;
+    steals = Atomic.get q.n_steals;
+    steal_cas_failures = Atomic.get q.n_steal_cas_failures;
+  }

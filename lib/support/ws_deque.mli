@@ -31,3 +31,22 @@ val steal : 'a t -> 'a option
 
 val size : 'a t -> int
 (** Snapshot of the current element count (racy; for stats only). *)
+
+(** Per-deque contention counters, maintained unconditionally (a few
+    plain/atomic increments per operation — cheap enough to leave on).
+    [steal_attempts] counts probes that saw a non-empty deque;
+    [steal_cas_failures] the subset that then lost the top CAS;
+    [pop_races] owner pops that lost the last-element race to a thief. *)
+type stats = {
+  pushes : int;
+  pops : int;
+  pop_races : int;
+  steal_attempts : int;
+  steals : int;
+  steal_cas_failures : int;
+}
+
+val stats : 'a t -> stats
+(** Snapshot of the counters. Owner-side fields ([pushes], [pops],
+    [pop_races]) are read racily when called from another domain —
+    quiesce the owner (e.g. after join) for exact values. *)

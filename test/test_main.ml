@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("ops5", Test_ops5.suite);
       ("rete", Test_rete.suite);
       ("soar", Test_soar.suite);
