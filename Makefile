@@ -2,7 +2,7 @@
 # must pass. Formatting is checked only when ocamlformat is installed
 # (the CI format job is advisory too).
 
-.PHONY: all build test fmt lint verify check bench bench-json bench-quick bench-gate clean
+.PHONY: all build test fmt lint analyze verify check bench bench-json bench-quick bench-gate clean
 
 all: build
 
@@ -20,13 +20,21 @@ fmt:
 	fi
 
 lint:
-	dune exec bin/soar_cli.exe -- lint programs/blocks.ops5 programs/selection.soar --strict
+	dune exec bin/soar_cli.exe -- lint programs/blocks.ops5 programs/selection.soar programs/analyze.ops5 --strict
+
+# Static network analysis: errors (unsatisfiable conditions, dead
+# nodes) fail the gate; warnings (cost model, redundancy) are reported
+# but do not — suppress an acknowledged finding with an
+# `; analyze: allow <rule> [<subject>]` pragma.
+analyze:
+	dune exec bin/soar_cli.exe -- analyze programs/blocks.ops5 programs/selection.soar programs/analyze.ops5
+	dune exec bin/soar_cli.exe -- analyze --workload all
 
 verify:
 	dune exec bin/soar_cli.exe -- check --workload all
 	dune exec bin/soar_cli.exe -- races --engine sim
 
-check: build test fmt lint verify
+check: build test fmt lint analyze verify
 
 bench:
 	dune exec bench/main.exe

@@ -671,6 +671,140 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_cmd_impl $ lint_files_arg $ strict_arg)
 
+(* --- analyze --------------------------------------------------------------------- *)
+
+let analyze_files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE")
+
+let analyze_workload_arg =
+  let doc =
+    "Analyze a generated workload's production set instead of source files: \
+     eight-puzzle, strips, cypress or all."
+  in
+  Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"TASK" ~doc)
+
+let analyze_json_arg =
+  let doc = "Emit the report as JSON on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let analyze_reorder_arg =
+  let doc =
+    "Build the analyzed network with join reordering \
+     (Network.config.reorder_joins) so the report reflects the reordered \
+     chains."
+  in
+  Arg.(value & flag & info [ "reorder" ] ~doc)
+
+let print_analyze name report json =
+  if json then Format.printf "%s@." (Psme_check.Finding.to_json report)
+  else print_report name report
+
+let analyze_source_file ~reorder ~json file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let schema = Schema.create () in
+  Agent.prepare_schema schema;
+  let prods =
+    List.filter_map
+      (function Parser.Prod p -> Some p | Parser.Literalize _ -> None)
+      (Parser.parse_program schema src)
+  in
+  (* the network rules need a built network; a build failure downgrades
+     to source-only analysis rather than masking the other rules *)
+  let net =
+    let config =
+      { Network.default_config with Network.reorder_joins = reorder }
+    in
+    let net = Network.create ~config schema in
+    match List.iter (fun p -> ignore (Build.add_production net p)) prods with
+    | () -> Some net
+    | exception Build.Build_error msg ->
+      Format.eprintf "%s: network build failed (%s); network rules skipped@."
+        file msg;
+      None
+  in
+  let report = Psme_check.Analyze.source ?net schema src in
+  print_analyze file report json;
+  report
+
+let analyze_workload ~json w =
+  let config =
+    { Agent.default_config with Agent.engine_mode = Engine.Serial_mode }
+  in
+  let agent = w.Workload.make ~config () in
+  let net = Agent.network agent in
+  let prods =
+    List.map
+      (fun pm -> pm.Network.meta_production)
+      (Network.productions net)
+  in
+  let report =
+    Psme_check.Finding.merge
+      (Psme_check.Analyze.productions prods)
+      (Psme_check.Analyze.network net)
+  in
+  print_analyze w.Workload.name report json;
+  report
+
+let analyze_cmd_impl files task strict json reorder =
+  setup_logs false;
+  match files, task with
+  | [], None ->
+    prerr_endline "nothing to analyze: give source files or --workload";
+    2
+  | _ :: _, Some _ ->
+    prerr_endline "give either source files or --workload, not both";
+    2
+  | files, None -> (
+    try
+      let report =
+        List.fold_left
+          (fun acc file ->
+            Psme_check.Finding.merge acc
+              (analyze_source_file ~reorder ~json file))
+          Psme_check.Finding.empty files
+      in
+      Psme_check.Finding.exit_code ~strict report
+    with
+    | Parser.Parse_error (msg, { Lexer.line }) ->
+      Format.eprintf "parse error at line %d: %s@." line msg;
+      2
+    | Lexer.Lex_error (msg, { Lexer.line }) ->
+      Format.eprintf "lex error at line %d: %s@." line msg;
+      2)
+  | [], Some task -> (
+    let targets =
+      if task = "all" then Ok workloads
+      else match find_workload task with Ok w -> Ok [ w ] | Error e -> Error e
+    in
+    match targets with
+    | Error e ->
+      prerr_endline e;
+      2
+    | Ok ws ->
+      let report =
+        List.fold_left
+          (fun acc w -> Psme_check.Finding.merge acc (analyze_workload ~json w))
+          Psme_check.Finding.empty ws
+      in
+      Psme_check.Finding.exit_code ~strict report)
+
+let analyze_cmd =
+  let doc =
+    "Statically analyze productions and their compiled Rete network: \
+     unsatisfiable conditions, dead or vacuous nodes, shadowed and subsumed \
+     production pairs, cross-product joins and the static join-cost model's \
+     reordering suggestions. Exit 0 when clean, 1 on findings that matter \
+     (errors, or any finding under --strict), 2 on parse failure. Suppress a \
+     finding with a '; analyze: allow <rule> [<subject>]' comment."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze_cmd_impl $ analyze_files_arg $ analyze_workload_arg
+      $ strict_arg $ analyze_json_arg $ analyze_reorder_arg)
+
 (* --- races ----------------------------------------------------------------------- *)
 
 let races_workload_arg =
@@ -728,8 +862,8 @@ let main =
   Cmd.group (Cmd.info "soar_cli" ~doc)
     [
       run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; profile_cmd;
-      trace_cmd; dump_cmd; parse_cmd; check_cmd; lint_cmd; races_cmd;
-      telemetry_cmd;
+      trace_cmd; dump_cmd; parse_cmd; check_cmd; lint_cmd; analyze_cmd;
+      races_cmd; telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,72 @@
+(** Static network analyzer.
+
+    Compile-time analysis over production sets and the built Rete
+    network. Three families of rules (stable names, usable in
+    [; analyze: allow <rule> [<subject>]] pragmas):
+
+    {b Satisfiability} — abstract interpretation of condition tests over
+    {!Domain}:
+
+    - [unsat-condition] (error) — a positive CE has a field whose test
+      conjunction admits no value: the production can never fire.
+      Strictly stronger than the linter's [unsatisfiable-ce] (the domain
+      folds constants, disjunctions, exclusions and mixed-kind ordering
+      bounds together);
+    - [vacuous-negation] (warning) — a negated CE (or a CE inside an NCC
+      group) that can never match: the negation always passes.
+
+    {b Redundancy} — condition-set implication under a variable
+    substitution:
+
+    - [shadowed-pair] (warning) — two productions with equivalent LHSs:
+      they match exactly the same wme combinations;
+    - [subsumed-production] (warning) — every match of this production is
+      also a match of a more general one. With a network at hand the
+      detail reports the duplicated structure in {!Psme_rete.Codesize}'s
+      byte model.
+
+    {b Join cost} — the {!Psme_rete.Jcost} static model:
+
+    - [cross-product-join] (warning) — a join level sharing no variable
+      with the conditions before it;
+    - [join-cost] (warning) — the worst-case token count exceeds the
+      quadratic bound;
+    - [condition-reorder] (warning) — a dependency-respecting reordering
+      cuts the predicted chain cost by ≥ 1.25x (the order the CLI's
+      [--reorder] and [Network.config.reorder_joins] apply).
+
+    {b Network} rules (need a built network):
+
+    - [dead-alpha-memory] (error) — an alpha memory whose constant-test
+      chain no wme can pass;
+    - [dead-node] (error) — a beta node that can never emit a token:
+      contradictory join tests, a dead right input, or a dead left
+      input (complementing {!Verify.structure}, which flags nodes that
+      are structurally orphaned rather than semantically dead). *)
+
+open Psme_ops5
+open Psme_rete
+
+val production : Production.t -> Finding.finding list
+(** Per-production rules: satisfiability and join cost. *)
+
+val subsumes : Production.t -> Production.t -> bool
+(** [subsumes p q]: every match of [q] is also a match of [p] — [p] is
+    at least as general. Sound but incomplete (NCC groups and LHSs over
+    8 positive CEs give [false]). *)
+
+val productions : Production.t list -> Finding.report
+(** Per-production rules plus the pairwise redundancy rules. *)
+
+val network : Network.t -> Finding.report
+(** The network rules over every alpha memory and beta node. *)
+
+val static_costs : Production.t list -> (string * float) list
+(** Predicted worst-case chain cost per production (model units) — the
+    static side of the profiler-correlation validation. *)
+
+val source : ?net:Network.t -> Schema.t -> string -> Finding.report
+(** Parse a program (applying [literalize] forms to the schema), run
+    every rule — the network rules only when [net] is given — and apply
+    the source's [; analyze: allow] pragmas. Raises
+    {!Parser.Parse_error} as the parser does. *)

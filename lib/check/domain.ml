@@ -1,0 +1,183 @@
+open Psme_support
+open Psme_ops5
+
+(* The effective total preorder [eval_relation] applies when an ordering
+   test compares a candidate value against a *constant*: numerics by
+   magnitude (Int 3 and Float 3. tie), and across kinds the constructor
+   order of [Value.compare] — symbols below all numbers, strings above.
+   Ranking values this way lets the interval logic reason about mixed
+   Int/Float bounds exactly. *)
+let key = function
+  | Value.Sym _ as v -> (0, v)
+  | Value.Int i -> (1, Value.Float (float_of_int i))
+  | Value.Float _ as v -> (1, v)
+  | Value.Str _ as v -> (2, v)
+
+let key_compare (r1, v1) (r2, v2) =
+  if r1 <> r2 then Stdlib.compare r1 r2 else Value.compare v1 v2
+
+type t = {
+  members : Value.t list option;
+      (* [Some vs]: exactly these values remain (each already satisfies
+         every constraint applied so far; [excluded]/[rels] then stay
+         empty). [None]: all values minus the constraints below. *)
+  excluded : Value.t list;
+  rels : (Cond.relation * Value.t) list;  (* Lt/Le/Gt/Ge only *)
+}
+
+let top = { members = None; excluded = []; rels = [] }
+let bottom = { members = Some []; excluded = []; rels = [] }
+
+(* Exact concrete membership: members are authoritative when finite,
+   otherwise evaluate every recorded constraint the way the matcher
+   would. *)
+let mem d v =
+  match d.members with
+  | Some vs -> List.exists (Value.equal v) vs
+  | None ->
+    (not (List.exists (Value.equal v) d.excluded))
+    && List.for_all (fun (rel, c) -> Cond.eval_relation rel v c) d.rels
+
+let restrict_members d keep =
+  match d.members with
+  | Some vs -> { bottom with members = Some (List.filter keep vs) }
+  | None -> assert false
+
+let to_finite d vs =
+  let vs =
+    List.fold_left
+      (fun acc v ->
+        if mem d v && not (List.exists (Value.equal v) acc) then v :: acc
+        else acc)
+      [] vs
+  in
+  { bottom with members = Some (List.rev vs) }
+
+let add_uniq v vs = if List.exists (Value.equal v) vs then vs else v :: vs
+
+let rec constrain d test =
+  match test with
+  | Cond.T_var _ | Cond.T_rel (_, Cond.Ovar _) ->
+    d (* variable links are join structure, not field-value constraints *)
+  | Cond.T_conj ts -> List.fold_left constrain d ts
+  | Cond.T_const c | Cond.T_rel (Cond.Eq, Cond.Oconst c) -> (
+    match d.members with
+    | Some _ -> restrict_members d (Value.equal c)
+    | None -> to_finite d [ c ])
+  | Cond.T_disj cs -> (
+    match d.members with
+    | Some _ -> restrict_members d (fun v -> List.exists (Value.equal v) cs)
+    | None -> to_finite d cs)
+  | Cond.T_rel (Cond.Ne, Cond.Oconst c) -> (
+    match d.members with
+    | Some _ -> restrict_members d (fun v -> not (Value.equal v c))
+    | None -> { d with excluded = add_uniq c d.excluded })
+  | Cond.T_rel ((Cond.Lt | Cond.Le | Cond.Gt | Cond.Ge) as rel, Cond.Oconst c)
+    -> (
+    match d.members with
+    | Some _ -> restrict_members d (fun v -> Cond.eval_relation rel v c)
+    | None -> { d with rels = (rel, c) :: d.rels })
+
+let of_tests ts = List.fold_left constrain top ts
+
+(* Greatest lower / least upper bound over the rank order. Both present
+   and contradictory -> no value can pass: a value either obeys the rank
+   order exactly (same kind or numeric vs numeric) or sits strictly
+   outside both bounds' rank band, failing one of them. *)
+let bounds d =
+  let lo = ref None and hi = ref None in
+  List.iter
+    (fun (rel, c) ->
+      let replace cell strict better =
+        match !cell with
+        | None -> cell := Some (strict, c)
+        | Some (s0, c0) ->
+          let cmp = key_compare (key c) (key c0) in
+          if better cmp || (cmp = 0 && strict && not s0) then
+            cell := Some (strict, c)
+      in
+      match rel with
+      | Cond.Gt -> replace lo true (fun cmp -> cmp > 0)
+      | Cond.Ge -> replace lo false (fun cmp -> cmp > 0)
+      | Cond.Lt -> replace hi true (fun cmp -> cmp < 0)
+      | Cond.Le -> replace hi false (fun cmp -> cmp < 0)
+      | Cond.Eq | Cond.Ne -> ())
+    d.rels;
+  (!lo, !hi)
+
+let is_empty d =
+  match d.members with
+  | Some [] -> true
+  | Some _ -> false
+  | None -> (
+    match bounds d with
+    | Some (lo_strict, lo), Some (hi_strict, hi) ->
+      let cmp = key_compare (key lo) (key hi) in
+      cmp > 0 || (cmp = 0 && (lo_strict || hi_strict))
+    | _ -> false)
+
+(* Does d1's constraint set imply rel2? Conservative: only via a single
+   stronger bound of the same direction. *)
+let implies_rel d1 (rel2, c2) =
+  let k2 = key c2 in
+  List.exists
+    (fun (rel1, c1) ->
+      let cmp = key_compare (key c1) k2 in
+      match rel2, rel1 with
+      | Cond.Gt, Cond.Gt -> cmp >= 0
+      | Cond.Gt, Cond.Ge -> cmp > 0
+      | Cond.Ge, (Cond.Gt | Cond.Ge) -> cmp >= 0
+      | Cond.Lt, Cond.Lt -> cmp <= 0
+      | Cond.Lt, Cond.Le -> cmp < 0
+      | Cond.Le, (Cond.Lt | Cond.Le) -> cmp <= 0
+      | _ -> false)
+    d1.rels
+
+let leq d1 d2 =
+  match d1.members, d2.members with
+  | Some vs, _ -> List.for_all (mem d2) vs
+  | None, Some _ -> is_empty d1
+  | None, None ->
+    (* every exclusion of d2 must already be impossible under d1, and
+       every ordering bound of d2 implied by one of d1's *)
+    List.for_all (fun c -> not (mem d1 c)) d2.excluded
+    && List.for_all (implies_rel d1) d2.rels
+
+let equal d1 d2 = leq d1 d2 && leq d2 d1
+
+let pp ppf d =
+  match d.members with
+  | Some [] -> Format.fprintf ppf "\xe2\x8a\xa5"
+  | Some vs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+         Value.pp)
+      vs
+  | None ->
+    if d.excluded = [] && d.rels = [] then Format.fprintf ppf "\xe2\x8a\xa4"
+    else begin
+      let first = ref true in
+      let sep () =
+        if !first then first := false else Format.fprintf ppf " "
+      in
+      List.iter
+        (fun c ->
+          sep ();
+          Format.fprintf ppf "<>%a" Value.pp c)
+        d.excluded;
+      List.iter
+        (fun (rel, c) ->
+          sep ();
+          let s =
+            match rel with
+            | Cond.Lt -> "<"
+            | Cond.Le -> "<="
+            | Cond.Gt -> ">"
+            | Cond.Ge -> ">="
+            | Cond.Eq -> "="
+            | Cond.Ne -> "<>"
+          in
+          Format.fprintf ppf "%s%a" s Value.pp c)
+        d.rels
+    end

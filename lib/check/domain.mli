@@ -1,0 +1,50 @@
+(** Abstract value domain for one wme field.
+
+    The set of values a field can hold under a conjunction of constant
+    tests — finite enumerations from [^f c] / [<< ... >>], exclusions
+    from [<> c], and ordering intervals from [< <= > >=] against
+    constants (ranked the way {!Psme_ops5.Cond.eval_relation} ranks
+    mixed kinds: symbols below all numbers, numbers by magnitude,
+    strings above). Every representable constraint is tracked exactly,
+    so {!is_empty} is a sound unsatisfiability verdict and {!leq} a
+    sound (conservative) implication test; variable tests are ignored —
+    they are join structure, handled separately by the subsumption
+    checker. *)
+
+open Psme_support
+open Psme_ops5
+
+type t
+
+val top : t
+(** All values. *)
+
+val bottom : t
+(** No value — an unsatisfiable field. *)
+
+val constrain : t -> Cond.test -> t
+(** Refine with one test. Constant, disjunction and predicate-vs-constant
+    atoms are applied exactly ([T_conj] recursively); variable tests
+    leave the domain unchanged. *)
+
+val of_tests : Cond.test list -> t
+(** [constrain] folded over a field's atoms, from {!top}. *)
+
+val mem : t -> Value.t -> bool
+(** Exact concrete membership: would this value pass every constraint
+    the way the matcher evaluates them? *)
+
+val is_empty : t -> bool
+(** No concrete value can satisfy the constraints. Sound: [true] is a
+    proof of unsatisfiability (finite enumerations are checked
+    exhaustively, interval emptiness via the rank order). *)
+
+val leq : t -> t -> bool
+(** [leq d1 d2]: every value in [d1] is in [d2]. Conservative — [false]
+    may mean "could not prove"; [true] is a proof. The subsumption
+    detector's per-field implication test. *)
+
+val equal : t -> t -> bool
+(** Mutual {!leq}. *)
+
+val pp : Format.formatter -> t -> unit

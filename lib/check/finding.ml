@@ -39,6 +39,64 @@ let exit_code ?(strict = false) r =
   else if strict && r.findings <> [] then 1
   else 0
 
+(* --- suppression pragmas -------------------------------------------- *)
+
+(* [; <tool>: allow <rule> [<subject>]] comment lines, shared by the
+   linter and the static analyzer so both suppress findings the same
+   way. *)
+let pragmas_of_source ~tool src =
+  let prefix = "; " ^ tool ^ ": allow " in
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           let rest =
+             String.sub line (String.length prefix)
+               (String.length line - String.length prefix)
+           in
+           match String.split_on_char ' ' (String.trim rest) with
+           | [ rule ] -> Some (rule, None)
+           | rule :: prod :: _ -> Some (rule, Some prod)
+           | [] -> None
+         else None)
+
+let suppressed_by ~tool src =
+  let pragmas = pragmas_of_source ~tool src in
+  fun f ->
+    List.exists
+      (fun (rule, prod) ->
+        rule = f.rule
+        && match prod with None -> true | Some p -> p = f.subject)
+      pragmas
+
+let to_json r =
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let finding f =
+    Printf.sprintf
+      "{\"severity\": \"%s\", \"rule\": \"%s\", \"subject\": \"%s\", \"detail\": \"%s\"}"
+      (match f.severity with Error -> "error" | Warning -> "warning")
+      (escape f.rule) (escape f.subject) (escape f.detail)
+  in
+  Printf.sprintf
+    "{\"findings\": [%s], \"errors\": %d, \"warnings\": %d, \"checked\": %d, \"suppressed\": %d}"
+    (String.concat ", " (List.map finding r.findings))
+    (errors r) (warnings r) r.checked r.suppressed
+
 let pp_finding ppf f =
   Format.fprintf ppf "%s[%s] %s: %s"
     (match f.severity with Error -> "error" | Warning -> "warning")

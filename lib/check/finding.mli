@@ -34,5 +34,18 @@ val exit_code : ?strict:bool -> report -> int
 (** 0 when clean, 1 when the report contains errors — or, under
     [strict], any finding at all. *)
 
+val pragmas_of_source : tool:string -> string -> (string * string option) list
+(** [; <tool>: allow <rule> [<subject>]] comment lines of a source text:
+    (rule, optional subject) pairs. Shared by the linter ([tool:"lint"])
+    and the static analyzer ([tool:"analyze"]). *)
+
+val suppressed_by : tool:string -> string -> finding -> bool
+(** Predicate over findings: suppressed by one of the source's pragmas
+    (rule matches; subject matches or the pragma names none). *)
+
+val to_json : report -> string
+(** Machine-readable rendering: findings with severity/rule/subject/
+    detail plus the error/warning/checked/suppressed counts. *)
+
 val pp_finding : Format.formatter -> finding -> unit
 val pp : Format.formatter -> report -> unit

@@ -6,9 +6,7 @@ open Psme_ops5
 (* ------------------------------------------------------------------ *)
 
 (* Flatten a field's tests ([T_conj] included) into atomic constraints. *)
-let rec atoms = function
-  | Cond.T_conj ts -> List.concat_map atoms ts
-  | t -> [ t ]
+let atoms = Cond.atoms
 
 let rel_holds rel v c = Cond.eval_relation rel v c
 
@@ -287,33 +285,10 @@ let production schema (p : Production.t) =
 (* Pragmas and whole programs                                          *)
 (* ------------------------------------------------------------------ *)
 
-let pragmas_of_source src =
-  String.split_on_char '\n' src
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         let prefix = "; lint: allow " in
-         if String.length line > String.length prefix
-            && String.sub line 0 (String.length prefix) = prefix
-         then
-           let rest =
-             String.sub line (String.length prefix)
-               (String.length line - String.length prefix)
-           in
-           match String.split_on_char ' ' (String.trim rest) with
-           | [ rule ] -> Some (rule, None)
-           | rule :: prod :: _ -> Some (rule, Some prod)
-           | [] -> None
-         else None)
+let pragmas_of_source src = Finding.pragmas_of_source ~tool:"lint" src
 
 let source schema src =
-  let pragmas = pragmas_of_source src in
-  let suppressed (f : Finding.finding) =
-    List.exists
-      (fun (rule, prod) ->
-        rule = f.Finding.rule
-        && match prod with None -> true | Some p -> p = f.Finding.subject)
-      pragmas
-  in
+  let suppressed = Finding.suppressed_by ~tool:"lint" src in
   let prods =
     List.filter_map
       (function Parser.Prod p -> Some p | Parser.Literalize _ -> None)

@@ -53,6 +53,53 @@ let eval_relation rel actual expected =
     | Ge -> cmp >= 0
     | Eq | Ne -> assert false)
 
+(* --- normalization helpers (static analysis) ----------------------- *)
+
+(* Flatten a test ([T_conj] included) into its atomic constraints, in
+   evaluation order. *)
+let rec atoms = function
+  | T_conj ts -> List.concat_map atoms ts
+  | t -> [ t ]
+
+(* A CE's tests grouped per field: conjunctions flattened, fields in
+   ascending order (the order [ce] already guarantees), atoms within a
+   field deduplicated structurally. *)
+let tests_by_field c =
+  let by_field = Hashtbl.create 8 in
+  let fields = ref [] in
+  List.iter
+    (fun (f, t) ->
+      if not (Hashtbl.mem by_field f) then fields := f :: !fields;
+      Hashtbl.replace by_field f
+        (Option.value ~default:[] (Hashtbl.find_opt by_field f) @ atoms t))
+    c.tests;
+  List.rev_map
+    (fun f ->
+      let ts = Hashtbl.find by_field f in
+      let rec dedup seen = function
+        | [] -> List.rev seen
+        | t :: rest ->
+          if List.exists (fun t' -> t' = t) seen then dedup seen rest
+          else dedup (t :: seen) rest
+      in
+      (f, dedup [] ts))
+    !fields
+
+(* Canonical form for structural comparison: one entry per field, atoms
+   flattened, deduplicated and sorted. Two CEs with the same canonical
+   form accept exactly the same wmes. *)
+let normalize_ce c =
+  {
+    c with
+    tests =
+      List.map
+        (fun (f, ts) ->
+          match List.sort Stdlib.compare ts with
+          | [ t ] -> (f, t)
+          | ts -> (f, T_conj ts))
+        (tests_by_field c);
+  }
+
 let rec test_is_alpha = function
   | T_const _ | T_disj _ -> true
   | T_rel (_, Oconst _) -> true

@@ -35,6 +35,21 @@ val eval_relation : relation -> Value.t -> Value.t -> bool
 (** [eval_relation rel actual expected]. Ordering relations on
     non-numeric operands fall back to {!Value.compare}. *)
 
+val atoms : test -> test list
+(** Flatten a test ([T_conj] included) into atomic constraints, in
+    evaluation order. *)
+
+val tests_by_field : ce -> (int * test list) list
+(** The CE's tests grouped per field: conjunctions flattened, atoms
+    deduplicated, fields ascending. The normal form the static analyses
+    ({!Psme_check.Domain}, join-cost estimation) consume. *)
+
+val normalize_ce : ce -> ce
+(** Canonical form: one entry per field, atoms flattened, deduplicated
+    and sorted. Two CEs with equal canonical forms accept exactly the
+    same wmes, so normalized structural equality is a sound (incomplete)
+    CE-equivalence test. *)
+
 val test_is_alpha : test -> bool
 (** True when the test depends only on the candidate wme (constants,
     disjunctions, predicates against constants) and can run in the alpha

@@ -77,6 +77,9 @@ type t = {
   alloc_id : unit -> int;
   roots : (Sym.t, root) Hashtbl.t;
   mems : (int, amem) Hashtbl.t;
+  chains : (int, Sym.t * atest list) Hashtbl.t;
+      (* amem id -> the class and test chain that feeds it (analysis
+         introspection; the walk itself never consults this) *)
   mutable n_nodes : int;
   mutable activations : int;
 }
@@ -106,7 +109,7 @@ let level_find lvl test =
 
 let create ~alloc_id =
   { alloc_id; roots = Hashtbl.create 64; mems = Hashtbl.create 64;
-    n_nodes = 0; activations = 0 }
+    chains = Hashtbl.create 64; n_nodes = 0; activations = 0 }
 
 let get_root t cls =
   match Hashtbl.find_opt t.roots cls with
@@ -124,6 +127,7 @@ let new_mem t =
 
 let add_chain t ~cls tests =
   let tests = List.map canonical_atest tests in
+  let record mid = Hashtbl.replace t.chains mid (cls, tests) in
   let root = get_root t cls in
   (* Walk/extend the chain one test at a time, sharing prefixes. *)
   let rec place lvl get_mem set_mem = function
@@ -133,6 +137,7 @@ let add_chain t ~cls tests =
       | None ->
         let m = new_mem t in
         set_mem (Some m);
+        record m.mid;
         m.mid)
     | test :: rest ->
       let child =
@@ -202,5 +207,11 @@ let amems t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.mems [] |> List.sort compare
 
 let amem_exists t amem = Hashtbl.mem t.mems amem
+
+let chain_of t ~amem = Hashtbl.find_opt t.chains amem
+
+let iter_chains t f =
+  Hashtbl.iter (fun mid (cls, tests) -> f ~amem:mid ~cls ~tests) t.chains
+
 let node_count t = t.n_nodes
 let stats_activations t = t.activations

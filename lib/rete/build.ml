@@ -301,6 +301,37 @@ let build_linear net prod created =
   let pnode = attach_pnode st prod ~perm:None ~bindings in
   (pnode, List.rev st.chain_rev)
 
+(* --- reordered linear build ------------------------------------------- *)
+
+(* Linear build with the positive CEs placed in [order] (a permutation
+   from {!Jcost.suggest_order}, which respects predicate-binding
+   dependencies) and the negations after all positives — sound because
+   the LHS is a declarative conjunction and every variable a negation
+   consults is bound by some positive CE. Slots follow placement order;
+   as in the bilinear build, the P-node carries the permutation back to
+   CE order and the bindings are remapped to CE coordinates, so conflict
+   sets, RHS evaluation and chunking see exactly the written production. *)
+let build_reordered net prod created order =
+  let st = fresh_state net created in
+  let positives = Array.of_list (Cond.positives prod.Production.lhs) in
+  Array.iter (fun ce_idx -> add_positive_ce st positives.(ce_idx)) order;
+  List.iter
+    (function
+      | Cond.Neg ce -> add_negative_ce st ce
+      | Cond.Pos _ -> ()
+      | Cond.Ncc _ -> err "reordered build cannot place an NCC group")
+    prod.Production.lhs;
+  let layout = order in
+  let perm = Array.make (Array.length layout) 0 in
+  Array.iteri (fun slot ce_idx -> perm.(ce_idx) <- slot) layout;
+  let bindings =
+    List.rev_map
+      (fun (v, (slot, fld)) -> (v, (layout.(slot), fld)))
+      st.bind_order_rev
+  in
+  let pnode = attach_pnode st prod ~perm:(Some perm) ~bindings in
+  (pnode, List.rev st.chain_rev)
+
 (* --- bilinear build --------------------------------------------------- *)
 
 (* First positive CE (by position among positives) in which each variable
@@ -522,9 +553,16 @@ let add_production net prod =
     cfg.Network.bilinear
     && List.length (Cond.positives prod.Production.lhs) >= cfg.Network.bilinear_min_ces
   in
+  let reorder =
+    if use_bilinear || not cfg.Network.reorder_joins then None
+    else Jcost.suggest_order prod
+  in
   let pnode, chain =
     if use_bilinear then build_bilinear net prod created
-    else build_linear net prod created
+    else
+      match reorder with
+      | Some order -> build_reordered net prod created order
+      | None -> build_linear net prod created
   in
   let meta =
     {

@@ -46,10 +46,72 @@ let bytes_of_node _net (n : Network.node) =
       + (per_successor * nsucc)
     | Network.Pnode _ -> pnode_base
 
+(* Addition results can outlive their nodes (a later excise removes
+   unshared parts of the chain); dead ids contribute nothing rather than
+   raising. *)
 let bytes_of_addition net (res : Build.add_result) =
   List.fold_left
-    (fun acc nid -> acc + bytes_of_node net (Network.node net nid))
+    (fun acc nid ->
+      match Network.node_opt net nid with
+      | Some n -> acc + bytes_of_node net n
+      | None -> acc)
     0 res.Build.new_beta_nodes
+
+(* --- sharing accounting ----------------------------------------------- *)
+
+type sharing = {
+  sh_nodes : int;
+  sh_shared : int;
+  sh_bytes : int;
+  sh_per_production : (Psme_support.Sym.t * int * int) list;
+}
+
+(* Recomputed from the chains of the productions currently in the
+   network, not from creation-time records: an excised production's
+   nodes either disappeared with it or survive because a live chain
+   runs through them — either way the excised production no longer
+   owns anything. A node shared by several live chains is owned by the
+   first of them in addition order (the chain that would have created
+   it had the others never existed). *)
+let sharing_report net =
+  let owner = Hashtbl.create 64 in
+  let uses = Hashtbl.create 64 in
+  let prods = Network.productions net in
+  List.iter
+    (fun (pm : Network.pmeta) ->
+      let name = pm.Network.meta_production.Psme_ops5.Production.name in
+      List.iter
+        (fun nid ->
+          if Network.node_opt net nid <> None then begin
+            if not (Hashtbl.mem owner nid) then Hashtbl.replace owner nid name;
+            Hashtbl.replace uses nid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt uses nid))
+          end)
+        (List.sort_uniq compare pm.Network.chain))
+    prods;
+  let per =
+    List.map
+      (fun (pm : Network.pmeta) ->
+        let name = pm.Network.meta_production.Psme_ops5.Production.name in
+        let nodes = ref 0 and bytes = ref 0 in
+        Hashtbl.iter
+          (fun nid o ->
+            if Psme_support.Sym.equal o name then begin
+              incr nodes;
+              match Network.node_opt net nid with
+              | Some n -> bytes := !bytes + bytes_of_node net n
+              | None -> ()
+            end)
+          owner;
+        (name, !nodes, !bytes))
+      prods
+  in
+  let sh_nodes = Hashtbl.length owner in
+  let sh_shared =
+    Hashtbl.fold (fun _ c acc -> if c > 1 then acc + 1 else acc) uses 0
+  in
+  let sh_bytes = List.fold_left (fun acc (_, _, b) -> acc + b) 0 per in
+  { sh_nodes; sh_shared; sh_bytes; sh_per_production = per }
 
 (* --- compiled-program (closure) sizes --------------------------------- *)
 
@@ -79,14 +141,21 @@ let cp_add net r nid =
 let compiled_report net =
   Network.fold_nodes net ~init:cp_empty ~f:(fun r n -> cp_add net r n.Network.id)
 
+(* Only nodes still alive: creation-time records go stale when a later
+   excise removes part of the chain. *)
 let compiled_of_production net (pm : Network.pmeta) =
-  List.fold_left (cp_add net) cp_empty pm.Network.created_nodes
+  List.fold_left
+    (fun r nid ->
+      if Network.node_opt net nid = None then r else cp_add net r nid)
+    cp_empty pm.Network.created_nodes
 
 let bytes_per_two_input_node net (res : Build.add_result) =
   let total = ref 0 and count = ref 0 in
   List.iter
     (fun nid ->
-      let n = Network.node net nid in
+      match Network.node_opt net nid with
+      | None -> ()
+      | Some n ->
       match n.Network.kind with
       | Network.Join _ | Network.Neg _ | Network.Ncc _ | Network.Bjoin _ ->
         total := !total + bytes_of_node net n;

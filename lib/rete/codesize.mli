@@ -19,7 +19,28 @@ val open_coded : bool ref
 val bytes_of_addition : Network.t -> Build.add_result -> int
 (** Bytes of code generated when this production was added: the sum over
     the nodes the addition actually created (shared nodes cost nothing,
-    which is exactly why shared compilation is smaller and faster). *)
+    which is exactly why shared compilation is smaller and faster).
+    Nodes the addition created but a later excise removed contribute
+    nothing. *)
+
+(** {2 Sharing accounting}
+
+    Ownership recomputed over the productions {e currently} in the
+    network (excised productions own nothing — their unshared nodes are
+    gone and their shared nodes are re-attributed to the surviving
+    chains). *)
+
+type sharing = {
+  sh_nodes : int;  (** live beta nodes on some live production chain *)
+  sh_shared : int;  (** nodes on at least two live chains *)
+  sh_bytes : int;  (** byte model total over owned nodes *)
+  sh_per_production : (Psme_support.Sym.t * int * int) list;
+      (** (production, owned nodes, owned bytes), in addition order; a
+          shared node is owned by the earliest-added live production
+          whose chain runs through it *)
+}
+
+val sharing_report : Network.t -> sharing
 
 val bytes_per_two_input_node : Network.t -> Build.add_result -> float
 (** Average over the two-input nodes created by the addition; [nan] if

@@ -61,11 +61,12 @@ type config = {
   bilinear_min_ces : int;
   lines : int;
   compiled : bool;
+  reorder_joins : bool;
 }
 
 let default_config =
   { share = true; bilinear = false; bilinear_ctx = 3; bilinear_group = 3;
-    bilinear_min_ces = 8; lines = 512; compiled = true }
+    bilinear_min_ces = 8; lines = 512; compiled = true; reorder_joins = false }
 
 (* The jumptable of compiled node programs. The concrete constructor is
    added by [Program] (which sits above this module); keeping the type

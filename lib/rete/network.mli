@@ -78,6 +78,11 @@ type config = {
       (** execute activations through closure-compiled node programs
           (the PSM-E machine-code analogue, §4/§5.1); the interpreter
           remains available as the oracle when [false] *)
+  reorder_joins : bool;
+      (** place positive CEs in the order {!Jcost.suggest} predicts is
+          cheapest (negations after all positives); the P-node's slot
+          permutation restores CE order, so conflict sets, bindings and
+          chunking are unchanged. Off by default. *)
 }
 
 val default_config : config

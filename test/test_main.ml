@@ -16,4 +16,5 @@ let () =
       ("perf-kernel", Test_perf_kernel.suite);
       ("program", Test_program.suite);
       ("check", Test_check.suite);
+      ("analyze", Test_analyze.suite);
     ]

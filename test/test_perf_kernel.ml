@@ -67,12 +67,12 @@ let test_deque_concurrent_steals () =
       | Some v ->
         mine := v :: !mine;
         Atomic.decr remaining
-      | None -> Domain.cpu_relax ()
+      | None -> Stdlib.Domain.cpu_relax ()
     done;
     !mine
   in
   let owner =
-    Domain.spawn (fun () ->
+    Stdlib.Domain.spawn (fun () ->
         let early = ref [] in
         for i = 0 to n - 1 do
           Ws_deque.push q i;
@@ -87,11 +87,11 @@ let test_deque_concurrent_steals () =
         !early @ consume (fun () -> Ws_deque.pop q))
   in
   let thieves =
-    List.init 3 (fun _ -> Domain.spawn (fun () -> consume (fun () -> Ws_deque.steal q)))
+    List.init 3 (fun _ -> Stdlib.Domain.spawn (fun () -> consume (fun () -> Ws_deque.steal q)))
   in
   (* the owner's interleaved pops return their values via a list per
      iteration; recover them by draining the consumed multiset *)
-  let got = Domain.join owner @ List.concat_map Domain.join thieves in
+  let got = Stdlib.Domain.join owner @ List.concat_map Stdlib.Domain.join thieves in
   let seen = Array.make n 0 in
   List.iter (fun v -> seen.(v) <- seen.(v) + 1) got;
   Alcotest.(check bool)
@@ -222,9 +222,9 @@ let test_memory_contention () =
   let all_ops = Array.init nd ops_for in
   let par = Memory.create ~lines:4 () in
   Array.map
-    (fun ops -> Domain.spawn (fun () -> List.iter (apply_op par) ops))
+    (fun ops -> Stdlib.Domain.spawn (fun () -> List.iter (apply_op par) ops))
     all_ops
-  |> Array.iter Domain.join;
+  |> Array.iter Stdlib.Domain.join;
   let ser = Memory.create ~lines:4 () in
   Array.iter (List.iter (apply_op ser)) all_ops;
   let show fp =
