@@ -2,7 +2,7 @@
 # must pass. Formatting is checked only when ocamlformat is installed
 # (the CI format job is advisory too).
 
-.PHONY: all build test fmt lint analyze verify check bench bench-json bench-quick bench-gate clean
+.PHONY: all build test fmt lint analyze verify attribute check bench bench-json bench-quick bench-gate clean
 
 all: build
 
@@ -34,7 +34,15 @@ verify:
 	dune exec bin/soar_cli.exe -- check --workload all
 	dune exec bin/soar_cli.exe -- races --engine sim
 
-check: build test fmt lint analyze verify
+# Speedup-loss attribution gate: the four ledger components must sum
+# to the measured ideal-vs-achieved gap on every cycle (the command
+# exits 1 on any invariant violation).
+attribute:
+	dune exec bin/soar_cli.exe -- attribute --workload strips --procs 11 > /dev/null
+	dune exec bin/soar_cli.exe -- attribute --workload cypress --procs 11 > /dev/null
+	dune exec bin/soar_cli.exe -- attribute --workload eight-puzzle --procs 11 > /dev/null
+
+check: build test fmt lint analyze verify attribute
 
 bench:
 	dune exec bench/main.exe
@@ -51,7 +59,7 @@ bench-quick:
 # tolerance; exit 0 pass / 1 regression / 2 baseline unreadable).
 # Override the baseline for a same-machine comparison:
 #   make bench-gate GATE_BASELINE=my-baseline.json
-GATE_BASELINE ?= BENCH_PR6.json
+GATE_BASELINE ?= BENCH_PR9.json
 bench-gate:
 	dune exec bench/main.exe -- --gate $(GATE_BASELINE)
 

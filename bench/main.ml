@@ -439,6 +439,48 @@ let speedup_series ~procs_axis (w : Psme_workloads.Workload.t) =
       (procs, Psme_engine.Cycle.speedup totals))
     procs_axis
 
+(* --- speedup-loss attribution ------------------------------------------- *)
+
+(* The per-cycle bottleneck ledger on the paper's tasks at the §6.2
+   processor counts, one summary row per (workload, procs) point. The
+   perf gate only reads the e2e/micro/speedup/telemetry sections, so
+   this rides along for dashboards and the CI artifact without gating. *)
+let attribution_series ~procs_axis workloads =
+  let open Psme_soar in
+  List.concat_map
+    (fun (w : Psme_workloads.Workload.t) ->
+      List.map
+        (fun procs ->
+          let tracer = Psme_obs.Trace.create ~capacity:(1 lsl 21) () in
+          let config =
+            {
+              Agent.default_config with
+              Agent.learning = false;
+              tracer = Some tracer;
+              engine_mode =
+                Psme_engine.Engine.Sim_mode
+                  {
+                    Psme_engine.Sim.procs;
+                    queues = Psme_engine.Parallel.Multiple_queues;
+                    collect_trace = false;
+                  };
+            }
+          in
+          let agent = w.Psme_workloads.Workload.make ~config () in
+          ignore (Agent.run agent);
+          let cost = (Agent.config agent).Agent.cost in
+          let ledgers =
+            Psme_obs.Attribution.per_cycle ~procs
+              ~queue_op_us:cost.Psme_engine.Cost.queue_op_us
+              (Psme_obs.Trace.events tracer)
+          in
+          ( w.Psme_workloads.Workload.name,
+            procs,
+            Psme_obs.Attribution.totals ledgers,
+            Psme_obs.Attribution.worst ledgers ))
+        procs_axis)
+    workloads
+
 (* --- end-to-end cycles/sec: compiled vs interpreted ---------------------- *)
 
 type e2e_result = {
@@ -515,7 +557,7 @@ let machine_doc () =
       ("cores", Int (Domain.recommended_domain_count ()));
     ]
 
-let json_doc ~mode ~micro ~speedups ~e2e ~telemetry =
+let json_doc ~mode ~micro ~speedups ~e2e ~telemetry ~attribution =
   let open Psme_obs.Json in
   Obj
     [
@@ -564,6 +606,41 @@ let json_doc ~mode ~micro ~speedups ~e2e ~telemetry =
                           points) );
                  ])
              speedups) );
+      ( "attribution",
+        List
+          (List.map
+             (fun (workload, procs, t, worst_cycle) ->
+               let open Psme_obs.Attribution in
+               Obj
+                 ([
+                    ("workload", Str workload);
+                    ("procs", Int procs);
+                    ("cycles", Int t.t_cycles);
+                    ("ideal_us", Float t.t_ideal_us);
+                    ("busy_us", Float t.t_busy_us);
+                    ("gap_us", Float t.t_gap_us);
+                    ("cp_residual_us", Float t.t_cp_residual_us);
+                    ("imbalance_us", Float t.t_imbalance_us);
+                    ("queue_us", Float t.t_queue_us);
+                    ("lock_us", Float t.t_lock_us);
+                    ( "dominant",
+                      if t.t_cycles = 0 then Null
+                      else Str (fst (totals_dominant t)) );
+                  ]
+                 @
+                 (match worst_cycle with
+                 | None -> []
+                 | Some l ->
+                   [
+                     ( "worst_cycle",
+                       Obj
+                         [
+                           ("cycle", Int l.a_cycle);
+                           ("gap_us", Float l.a_gap_us);
+                           ("dominant", Str (fst (dominant l)));
+                         ] );
+                   ])))
+             attribution) );
     ]
 
 let write_json path doc =
@@ -717,8 +794,33 @@ let () =
         (w.Psme_workloads.Workload.name, pts))
       workloads
   in
+  let attribution =
+    let procs_axis = if !quick then [ 8 ] else [ 8; 11; 13 ] in
+    let workloads =
+      if !quick then [ Psme_workloads.Eight_puzzle.workload ]
+      else
+        [
+          Psme_workloads.Strips.workload;
+          Psme_workloads.Cypress.workload;
+          Psme_workloads.Eight_puzzle.workload;
+        ]
+    in
+    let rows = attribution_series ~procs_axis workloads in
+    Format.printf "@.== speedup-loss attribution (multiple queues) ==@.";
+    List.iter
+      (fun (w, p, t, _) ->
+        let open Psme_obs.Attribution in
+        let pct v = if t.t_gap_us <= 0. then 0. else 100. *. v /. t.t_gap_us in
+        Format.printf
+          "  %-14s %2d procs  gap %9.0f us  chain %4.1f%%  imbal %4.1f%%  \
+           queue %4.1f%%  lock %4.1f%%@."
+          w p t.t_gap_us (pct t.t_cp_residual_us) (pct t.t_imbalance_us)
+          (pct t.t_queue_us) (pct t.t_lock_us))
+      rows;
+    rows
+  in
   let mode = if !quick then "quick" else "full" in
-  let doc = json_doc ~mode ~micro ~speedups ~e2e ~telemetry in
+  let doc = json_doc ~mode ~micro ~speedups ~e2e ~telemetry ~attribution in
   (match !json_path with
   | Some path ->
     write_json path doc;

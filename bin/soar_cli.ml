@@ -418,6 +418,108 @@ let profile_cmd =
       const profile_cmd_impl $ task_arg $ procs_arg $ queues_arg $ learning_arg
       $ top_arg $ json_arg)
 
+(* --- attribute ------------------------------------------------------------------- *)
+
+let attribute_workload_arg =
+  let doc = "Workload to attribute: eight-puzzle, strips or cypress." in
+  Arg.(value & opt string "eight-puzzle" & info [ "workload" ] ~docv:"TASK" ~doc)
+
+let attribute_cmd_impl task procs queues json per_cycle trace_out =
+  setup_logs false;
+  match (find_workload task, parse_queues queues) with
+  | Error e, _ | _, Error e -> prerr_endline e; 2
+  | Ok w, Ok q ->
+    let engine_mode =
+      Engine.Sim_mode { Sim.procs; queues = q; collect_trace = false }
+    in
+    let agent, tracer = traced_agent w ~engine_mode ~learning:false in
+    let cost = (Agent.config agent).Agent.cost in
+    let queue_op_us = cost.Cost.queue_op_us in
+    let events = Psme_obs.Trace.events tracer in
+    let ledgers = Psme_obs.Attribution.per_cycle ~procs ~queue_op_us events in
+    let trace_status =
+      match trace_out with
+      | None -> 0
+      | Some path -> (
+        (* the Chrome trace with the attribution counter track riding on
+           the per-worker lanes *)
+        let buf = Buffer.create (256 * Array.length events) in
+        Psme_harness.Observe.chrome_trace ~ledgers (Agent.network agent) buf events;
+        match open_out path with
+        | exception Sys_error msg ->
+          Format.eprintf "cannot write trace: %s@." msg;
+          2
+        | oc ->
+          Buffer.output_buffer oc buf;
+          close_out oc;
+          if not json then Format.printf "wrote %s@." path;
+          0)
+    in
+    let violations =
+      List.filter_map
+        (fun l ->
+          match Psme_obs.Attribution.check l with
+          | Ok () -> None
+          | Error msg -> Some msg)
+        ledgers
+    in
+    if json then
+      Format.printf "%s@."
+        (Psme_obs.Json.to_string
+           (Psme_obs.Attribution.to_json ~per_cycle ~task:w.Workload.name
+              ~queue_op_us ledgers))
+    else begin
+      Format.printf "task %s on %d simulated processes (queue op %.0f us)@.@."
+        w.Workload.name procs queue_op_us;
+      Psme_obs.Attribution.pp ~top:(if per_cycle then max_int else 8)
+        Format.std_formatter ledgers;
+      if Psme_obs.Trace.dropped tracer > 0 then
+        Format.printf
+          "warning: ring buffer wrapped, %d events dropped — ledgers are partial@."
+          (Psme_obs.Trace.dropped tracer)
+    end;
+    (match violations with
+    | [] -> trace_status
+    | msgs ->
+      List.iter (fun m -> Format.eprintf "attribution invariant violated: %s@." m) msgs;
+      1)
+
+let attribute_cmd =
+  let doc =
+    "Attribute a task's speedup loss: run it on the traced simulator and \
+     decompose each cycle's gap to ideal P-times-makespan processor-time into \
+     critical-path residual, load imbalance, queue/steal overhead and lock \
+     contention (an additive per-cycle ledger; exit 1 if the components fail \
+     to sum to the gap)."
+  in
+  let per_cycle =
+    Arg.(
+      value & flag
+      & info [ "per-cycle" ]
+          ~doc:
+            "Include every cycle's ledger (JSON: the cycles array with \
+             per-worker timelines; table: all cycles instead of the top 8).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit JSON (schema psme-attribution/1) instead of a table.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:
+            "Also write the Chrome trace-event JSON with the attribution \
+             counter track to $(docv).")
+  in
+  Cmd.v (Cmd.info "attribute" ~doc)
+    Term.(
+      const attribute_cmd_impl $ attribute_workload_arg $ procs_arg $ queues_arg
+      $ json $ per_cycle $ trace_out)
+
 (* --- trace ----------------------------------------------------------------------- *)
 
 let trace_out_arg =
@@ -862,8 +964,8 @@ let main =
   Cmd.group (Cmd.info "soar_cli" ~doc)
     [
       run_cmd; tasks_cmd; network_cmd; report_cmd; diagnose_cmd; profile_cmd;
-      trace_cmd; dump_cmd; parse_cmd; check_cmd; lint_cmd; analyze_cmd;
-      races_cmd; telemetry_cmd;
+      attribute_cmd; trace_cmd; dump_cmd; parse_cmd; check_cmd; lint_cmd;
+      analyze_cmd; races_cmd; telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

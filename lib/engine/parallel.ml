@@ -89,7 +89,7 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
       | Shared q -> shared_try_pop q
       | Deques ds ->
         if k = 0 then Ws_deque.pop ds.(my_q)
-        else Ws_deque.steal ds.((my_q + k) mod nq)
+        else Ws_deque.steal ~thief:me ds.((my_q + k) mod nq)
     in
     let push_child item =
       match queues with
@@ -108,9 +108,15 @@ let run_tasks ?(cost = Cost.default) ?tracer config net seed =
                 Loghist.add dwell_h.(me) (Clock.now_ns () - push_ns);
                 (match tracer with
                 | Some tr ->
-                  Trace.emit tr
-                    (if k = 0 then Trace.Queue_pop else Trace.Queue_steal)
-                    ~t_us:(now_us ()) ~proc:me ~task:id ()
+                  (if k = 0 then
+                     Trace.emit tr Trace.Queue_pop ~t_us:(now_us ()) ~proc:me
+                       ~task:id ()
+                   else
+                     (* steal provenance: the victim queue index rides
+                        in the node field (see Trace.mli) *)
+                     Trace.emit tr Trace.Queue_steal ~t_us:(now_us ()) ~proc:me
+                       ~node:((my_q + k) mod nq)
+                       ~task:id ())
                 | None -> ());
                 Some (id, parent, task)
               | None ->

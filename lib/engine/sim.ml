@@ -158,9 +158,13 @@ let run_tasks_gen ?(cost = Cost.default) ?tracer ?on_inst config net seed =
               let kind = (Network.node net node).Network.kind in
               (match tracer with
               | Some tr ->
-                Trace.emit tr
-                  (if k = 0 then Trace.Queue_pop else Trace.Queue_steal)
-                  ~t_us:t ~proc ~task:id ();
+                (if k = 0 then Trace.emit tr Trace.Queue_pop ~t_us:t ~proc ~task:id ()
+                 else
+                   (* steal provenance: the victim queue index rides in
+                      the node field (see Trace.mli) *)
+                   Trace.emit tr Trace.Queue_steal ~t_us:t ~proc
+                     ~node:((my_queue proc + k) mod nq)
+                     ~task:id ());
                 Trace.emit tr Trace.Task_start ~t_us:t ~proc ~node ~task:id
                   ~parent ()
               | None -> ());

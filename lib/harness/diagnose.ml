@@ -18,6 +18,10 @@ type diagnosis = {
   d_recommend_bilinear : bool;
   d_recommend_async : bool;
   d_baseline_speedup : float;
+  d_ledger : Attribution.totals;
+  d_dominant : string;
+  d_dominant_share : float;
+  d_worst : Attribution.ledger option;
 }
 
 let small_cycle_tasks = 50
@@ -133,6 +137,18 @@ let diagnose ?(procs = 11) (w : Workload.t) =
       in
       (Critical_path.bound_speedup r, prod)
   in
+  (* the speedup-loss ledger: where the processor-time between ideal
+     P× and the achieved schedule actually went *)
+  let cost = (Agent.config agent).Agent.cost in
+  let ledgers =
+    Attribution.per_cycle ~procs ~queue_op_us:cost.Cost.queue_op_us
+      (Trace.events tracer)
+  in
+  let ledger = Attribution.totals ledgers in
+  let dominant, dominant_us =
+    if ledger.Attribution.t_cycles = 0 then ("", 0.)
+    else Attribution.totals_dominant ledger
+  in
   {
     d_task = w.Workload.name;
     d_procs = procs;
@@ -151,6 +167,12 @@ let diagnose ?(procs = 11) (w : Workload.t) =
     d_recommend_async =
       float_of_int small > 0.25 *. float_of_int (max 1 (List.length cycles));
     d_baseline_speedup = speedup summary.Agent.match_stats;
+    d_ledger = ledger;
+    d_dominant = dominant;
+    d_dominant_share =
+      (if ledger.Attribution.t_gap_us <= 0. then 0.
+       else dominant_us /. ledger.Attribution.t_gap_us);
+    d_worst = Attribution.worst ledgers;
   }
 
 type tuning_result = {
@@ -193,6 +215,26 @@ let pp ppf d =
       "                 worst chain ends in %s (%.0f us; chain-limited speedup %.2f)@."
       name us d.d_cp_bound
   | None -> ());
+  (if d.d_dominant <> "" then begin
+     let t = d.d_ledger in
+     Format.fprintf ppf
+       "speedup loss     %s: %.0f%% of the %.0f us gap to ideal %d-proc time@."
+       (Attribution.component_label d.d_dominant)
+       (100. *. d.d_dominant_share)
+       t.Attribution.t_gap_us d.d_procs;
+     Format.fprintf ppf
+       "                 ledger: chain %.0f us, imbalance %.0f us, queue %.0f us, lock %.0f us@."
+       t.Attribution.t_cp_residual_us t.Attribution.t_imbalance_us
+       t.Attribution.t_queue_us t.Attribution.t_lock_us;
+     match d.d_worst with
+     | Some w ->
+       Format.fprintf ppf
+         "                 worst cycle %d loses %.0f us (%s; chain %.0f us of %.0f us makespan)@."
+         w.Attribution.a_cycle w.Attribution.a_gap_us
+         (Attribution.component_label (fst (Attribution.dominant w)))
+         w.Attribution.a_cp_us w.Attribution.a_makespan_us
+     | None -> ()
+   end);
   Format.fprintf ppf "deepest chains:@.";
   List.iter (fun (name, depth) -> Format.fprintf ppf "  %-40s depth %d@." name depth)
     d.d_deepest;

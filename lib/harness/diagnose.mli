@@ -35,6 +35,15 @@ type diagnosis = {
   d_recommend_bilinear : bool;
   d_recommend_async : bool;
   d_baseline_speedup : float;
+  d_ledger : Psme_obs.Attribution.totals;
+      (** summed speedup-loss ledger over the traced cycles *)
+  d_dominant : string;
+      (** stable name of the ledger's dominant component
+          ({!Psme_obs.Attribution.component_label} renders it); [""]
+          when no cycle executed tasks *)
+  d_dominant_share : float;  (** its share of the total gap, 0..1 *)
+  d_worst : Psme_obs.Attribution.ledger option;
+      (** the worst-parallelizing cycle — the pp evidence *)
 }
 
 val diagnose : ?procs:int -> Workload.t -> diagnosis

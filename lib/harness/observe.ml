@@ -49,5 +49,5 @@ let node_prods net =
 let profile net events =
   Profile.of_events ~node_kind:(node_kind net) ~node_prods:(node_prods net) events
 
-let chrome_trace net buf events =
-  Chrome_trace.to_buffer ~node_name:(node_name net) buf events
+let chrome_trace ?ledgers net buf events =
+  Chrome_trace.to_buffer ~node_name:(node_name net) ?ledgers buf events

@@ -27,6 +27,12 @@ val node_prods : Network.t -> int -> string list
 val profile : Network.t -> Trace.event array -> Profile.t
 (** {!Psme_obs.Profile.of_events} with this network's metadata. *)
 
-val chrome_trace : Network.t -> Buffer.t -> Trace.event array -> unit
+val chrome_trace :
+  ?ledgers:Attribution.ledger list ->
+  Network.t ->
+  Buffer.t ->
+  Trace.event array ->
+  unit
 (** {!Psme_obs.Chrome_trace.to_buffer} with this network's node names
-    (queue events included). *)
+    (queue events included; [ledgers] adds the attribution counter
+    track). *)

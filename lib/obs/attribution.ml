@@ -1,0 +1,478 @@
+type worker = {
+  w_proc : int;
+  w_tasks : int;
+  w_busy_us : float;
+  w_queue_ops : int;
+  w_queue_us : float;
+  w_lock_us : float;
+  w_idle_us : float;
+  w_steals : int;
+  w_stolen_from : int;
+  w_failed_pops : int;
+}
+
+type ledger = {
+  a_cycle : int;
+  a_procs : int;
+  a_tasks : int;
+  a_t0_us : float;
+  a_makespan_us : float;
+  a_busy_us : float;
+  a_ideal_us : float;
+  a_gap_us : float;
+  a_cp_us : float;
+  a_cp_residual_us : float;
+  a_imbalance_us : float;
+  a_queue_us : float;
+  a_lock_us : float;
+  a_workers : worker list;
+}
+
+(* per-cycle accumulator over one pass of the event stream *)
+type wacc = {
+  mutable c_tasks : int;
+  mutable c_busy : float;
+  mutable c_qops : int;
+  mutable c_lock : float;
+  mutable c_steals : int;
+  mutable c_stolen : int;
+  mutable c_failed : int;
+}
+
+type acc = {
+  mutable tasks : int;
+  mutable t0 : float;
+  mutable t1 : float;
+  workers : (int, wacc) Hashtbl.t;
+}
+
+let wacc_of a p =
+  match Hashtbl.find_opt a.workers p with
+  | Some w -> w
+  | None ->
+    let w =
+      { c_tasks = 0; c_busy = 0.; c_qops = 0; c_lock = 0.; c_steals = 0;
+        c_stolen = 0; c_failed = 0 }
+    in
+    Hashtbl.replace a.workers p w;
+    w
+
+let per_cycle ~procs ~queue_op_us (events : Trace.event array) =
+  let procs = max 1 procs in
+  let cycles : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc_of c =
+    match Hashtbl.find_opt cycles c with
+    | Some a -> a
+    | None ->
+      let a =
+        { tasks = 0; t0 = infinity; t1 = neg_infinity; workers = Hashtbl.create 16 }
+      in
+      Hashtbl.replace cycles c a;
+      a
+  in
+  Array.iter
+    (fun (e : Trace.event) ->
+      let a = acc_of e.Trace.cycle in
+      let p = e.Trace.proc in
+      (* the task-phase window spans task/queue/lock activity; cycle
+         markers (which include the alpha pass) and chunk/memory
+         bookkeeping events stay out of it *)
+      let window start fin =
+        a.t0 <- Float.min a.t0 start;
+        a.t1 <- Float.max a.t1 fin
+      in
+      match e.Trace.kind with
+      | Trace.Cycle_begin -> a.t0 <- Float.min a.t0 e.Trace.t_us
+      | Trace.Cycle_end | Trace.Chunk_add | Trace.Chunk_update | Trace.Mem_access
+        -> ()
+      | Trace.Task_start -> window e.Trace.t_us e.Trace.t_us
+      | Trace.Task_end ->
+        window (e.Trace.t_us -. e.Trace.dur_us) e.Trace.t_us;
+        a.tasks <- a.tasks + 1;
+        if p >= 0 then begin
+          let w = wacc_of a p in
+          w.c_tasks <- w.c_tasks + 1;
+          w.c_busy <- w.c_busy +. e.Trace.dur_us
+        end
+      | Trace.Lock_wait ->
+        window (e.Trace.t_us -. e.Trace.dur_us) e.Trace.t_us;
+        if p >= 0 then begin
+          let w = wacc_of a p in
+          w.c_lock <- w.c_lock +. e.Trace.dur_us
+        end
+      | Trace.Queue_push | Trace.Queue_pop | Trace.Queue_steal
+      | Trace.Queue_failed_pop ->
+        window e.Trace.t_us e.Trace.t_us;
+        if p >= 0 then begin
+          let w = wacc_of a p in
+          w.c_qops <- w.c_qops + 1;
+          (match e.Trace.kind with
+          | Trace.Queue_steal ->
+            w.c_steals <- w.c_steals + 1;
+            (* steal provenance: the victim queue index rides in the
+               event's node field (see Trace.mli) *)
+            if e.Trace.node >= 0 then begin
+              let v = wacc_of a e.Trace.node in
+              v.c_stolen <- v.c_stolen + 1
+            end
+          | Trace.Queue_failed_pop -> w.c_failed <- w.c_failed + 1
+          | _ -> ())
+        end)
+    events;
+  (* longest spawn chain per cycle, from the critical-path analyzer *)
+  let cp_by_cycle = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Critical_path.cycle_report) ->
+      Hashtbl.replace cp_by_cycle r.Critical_path.cp_cycle r.Critical_path.cp_us)
+    (Critical_path.per_cycle events);
+  (* Starvation idle per cycle: processor-time spent while the task
+     queues were globally empty — the spawn DAG could not feed the
+     processors, so the idleness (and the polling it causes) is forced
+     by the dependence structure, not by scheduling. Reconstructed by a
+     sweep over queue push/pop/steal events (queue depth) and task
+     spans (running count r): integrate (P − r)·dt where depth = 0. *)
+  let starvation_by_cycle =
+    let edges : (int, (float * int * int) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    (* edge = (time, queue delta, running delta) *)
+    let add c t dq dr =
+      match Hashtbl.find_opt edges c with
+      | Some l -> l := (t, dq, dr) :: !l
+      | None -> Hashtbl.replace edges c (ref [ (t, dq, dr) ])
+    in
+    Array.iter
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Queue_push -> add e.Trace.cycle e.Trace.t_us 1 0
+        | Trace.Queue_pop | Trace.Queue_steal -> add e.Trace.cycle e.Trace.t_us (-1) 0
+        | Trace.Task_end ->
+          add e.Trace.cycle (e.Trace.t_us -. e.Trace.dur_us) 0 1;
+          add e.Trace.cycle e.Trace.t_us 0 (-1)
+        | _ -> ())
+      events;
+    let out = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun c l ->
+        let p = float_of_int procs in
+        (* at equal times, apply pushes and task starts before pops and
+           task ends, so depth/running never dip negative on ties *)
+        let sorted =
+          List.sort
+            (fun (ta, dqa, dra) (tb, dqb, drb) ->
+              match compare ta tb with
+              | 0 -> compare (dqb, drb) (dqa, dra)
+              | n -> n)
+            !l
+        in
+        let starved = ref 0. in
+        let depth = ref 0 in
+        let running = ref 0 in
+        let prev = ref nan in
+        List.iter
+          (fun (t, dq, dr) ->
+            (if (not (Float.is_nan !prev)) && !depth <= 0 then
+               starved :=
+                 !starved +. ((t -. !prev) *. Float.max 0. (p -. float_of_int !running)));
+            depth := max 0 (!depth + dq);
+            running := max 0 (!running + dr);
+            prev := t)
+          sorted;
+        Hashtbl.replace out c !starved)
+      edges;
+    out
+  in
+  Hashtbl.fold
+    (fun c a ledgers ->
+      if a.tasks = 0 then ledgers
+      else begin
+        let m = Float.max 0. (a.t1 -. a.t0) in
+        let p = float_of_int procs in
+        let workers =
+          List.init procs (fun i ->
+              let w =
+                Option.value
+                  ~default:
+                    { c_tasks = 0; c_busy = 0.; c_qops = 0; c_lock = 0.;
+                      c_steals = 0; c_stolen = 0; c_failed = 0 }
+                  (Hashtbl.find_opt a.workers i)
+              in
+              let queue_us = float_of_int w.c_qops *. queue_op_us in
+              {
+                w_proc = i;
+                w_tasks = w.c_tasks;
+                w_busy_us = w.c_busy;
+                w_queue_ops = w.c_qops;
+                w_queue_us = queue_us;
+                w_lock_us = w.c_lock;
+                w_idle_us = Float.max 0. (m -. w.c_busy -. queue_us -. w.c_lock);
+                w_steals = w.c_steals;
+                w_stolen_from = w.c_stolen;
+                w_failed_pops = w.c_failed;
+              })
+        in
+        let busy = List.fold_left (fun s w -> s +. w.w_busy_us) 0. workers in
+        let ideal = p *. m in
+        let gap = Float.max 0. (ideal -. busy) in
+        (* The chain component comes first. It is the larger of two
+           views of the same cause: the provable floor [P·C − S]
+           (processor-time no schedule can recover while the longest
+           dependent chain pins the cycle down for C µs), and the
+           observed starvation idle (processor-time spent while the
+           task queues were globally empty — the spawn DAG could not
+           feed the processors, so the idleness and the empty-system
+           polling it causes are forced by the dependence structure).
+           Overhead measured during starvation is absorbed here rather
+           than double-counted. The measured lock and queue charges
+           then fill the remainder (scaled down together when they
+           exceed it), and load imbalance is what's left. Each step
+           keeps the components non-negative and summing to the gap by
+           construction. *)
+        let cp = Option.value ~default:0. (Hashtbl.find_opt cp_by_cycle c) in
+        let starved =
+          Option.value ~default:0. (Hashtbl.find_opt starvation_by_cycle c)
+        in
+        let cp_residual =
+          Float.min gap (Float.max starved (Float.max 0. ((p *. cp) -. busy)))
+        in
+        let rem = gap -. cp_residual in
+        let lock_m = List.fold_left (fun s w -> s +. w.w_lock_us) 0. workers in
+        let queue_m = List.fold_left (fun s w -> s +. w.w_queue_us) 0. workers in
+        let lock, queue =
+          if lock_m +. queue_m <= rem || lock_m +. queue_m <= 0. then
+            (lock_m, queue_m)
+          else begin
+            let scale = rem /. (lock_m +. queue_m) in
+            (lock_m *. scale, queue_m *. scale)
+          end
+        in
+        let imbalance = Float.max 0. (rem -. lock -. queue) in
+        {
+          a_cycle = c;
+          a_procs = procs;
+          a_tasks = a.tasks;
+          a_t0_us = a.t0;
+          a_makespan_us = m;
+          a_busy_us = busy;
+          a_ideal_us = ideal;
+          a_gap_us = gap;
+          a_cp_us = cp;
+          a_cp_residual_us = cp_residual;
+          a_imbalance_us = imbalance;
+          a_queue_us = queue;
+          a_lock_us = lock;
+          a_workers = workers;
+        }
+        :: ledgers
+      end)
+    cycles []
+  |> List.sort (fun a b -> compare a.a_cycle b.a_cycle)
+
+let components l =
+  [
+    ("cp_residual", l.a_cp_residual_us);
+    ("imbalance", l.a_imbalance_us);
+    ("queue", l.a_queue_us);
+    ("lock", l.a_lock_us);
+  ]
+
+let component_label = function
+  | "cp_residual" -> "critical-path residual"
+  | "imbalance" -> "load imbalance"
+  | "queue" -> "queue/steal overhead"
+  | "lock" -> "lock contention"
+  | s -> s
+
+let pick_dominant comps =
+  List.fold_left
+    (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+    (List.hd comps) (List.tl comps)
+
+let dominant l = pick_dominant (components l)
+
+let check l =
+  let eps = 1e-6 *. Float.max 1. l.a_ideal_us in
+  let sum = List.fold_left (fun s (_, v) -> s +. v) 0. (components l) in
+  if Float.abs (sum -. l.a_gap_us) > eps then
+    Error
+      (Printf.sprintf
+         "cycle %d: components sum to %.3f us but the gap is %.3f us" l.a_cycle
+         sum l.a_gap_us)
+  else
+    match List.find_opt (fun (_, v) -> v < -.eps) (components l) with
+    | Some (n, v) ->
+      Error (Printf.sprintf "cycle %d: component %s is negative (%.3f us)" l.a_cycle n v)
+    | None -> (
+      match List.find_opt (fun w -> w.w_idle_us < -.eps) l.a_workers with
+      | Some w ->
+        Error
+          (Printf.sprintf "cycle %d: worker %d idle time is negative (%.3f us)"
+             l.a_cycle w.w_proc w.w_idle_us)
+      | None -> Ok ())
+
+type totals = {
+  t_cycles : int;
+  t_ideal_us : float;
+  t_busy_us : float;
+  t_gap_us : float;
+  t_cp_residual_us : float;
+  t_imbalance_us : float;
+  t_queue_us : float;
+  t_lock_us : float;
+}
+
+let totals ledgers =
+  List.fold_left
+    (fun t l ->
+      {
+        t_cycles = t.t_cycles + 1;
+        t_ideal_us = t.t_ideal_us +. l.a_ideal_us;
+        t_busy_us = t.t_busy_us +. l.a_busy_us;
+        t_gap_us = t.t_gap_us +. l.a_gap_us;
+        t_cp_residual_us = t.t_cp_residual_us +. l.a_cp_residual_us;
+        t_imbalance_us = t.t_imbalance_us +. l.a_imbalance_us;
+        t_queue_us = t.t_queue_us +. l.a_queue_us;
+        t_lock_us = t.t_lock_us +. l.a_lock_us;
+      })
+    {
+      t_cycles = 0;
+      t_ideal_us = 0.;
+      t_busy_us = 0.;
+      t_gap_us = 0.;
+      t_cp_residual_us = 0.;
+      t_imbalance_us = 0.;
+      t_queue_us = 0.;
+      t_lock_us = 0.;
+    }
+    ledgers
+
+let totals_components t =
+  [
+    ("cp_residual", t.t_cp_residual_us);
+    ("imbalance", t.t_imbalance_us);
+    ("queue", t.t_queue_us);
+    ("lock", t.t_lock_us);
+  ]
+
+let totals_dominant t = pick_dominant (totals_components t)
+
+(* the worst-parallelizing cycle: greatest share of its ideal
+   processor-time lost (ties broken by absolute loss) — the per-cycle
+   worst-speedup notion of the paper's Figure 6-6 *)
+let worst ledgers =
+  let share l = if l.a_ideal_us <= 0. then 0. else l.a_gap_us /. l.a_ideal_us in
+  List.fold_left
+    (fun best l ->
+      match best with
+      | None -> Some l
+      | Some b ->
+        let sl = share l and sb = share b in
+        if sl > sb || (sl = sb && l.a_gap_us > b.a_gap_us) then Some l else best)
+    None ledgers
+
+(* --- JSON export --------------------------------------------------------- *)
+
+let worker_json w =
+  Json.Obj
+    [
+      ("proc", Json.Int w.w_proc);
+      ("tasks", Json.Int w.w_tasks);
+      ("busy_us", Json.Float w.w_busy_us);
+      ("queue_ops", Json.Int w.w_queue_ops);
+      ("queue_us", Json.Float w.w_queue_us);
+      ("lock_us", Json.Float w.w_lock_us);
+      ("idle_us", Json.Float w.w_idle_us);
+      ("steals", Json.Int w.w_steals);
+      ("stolen_from", Json.Int w.w_stolen_from);
+      ("failed_pops", Json.Int w.w_failed_pops);
+    ]
+
+let ledger_json ?(workers = false) l =
+  Json.Obj
+    ([
+       ("cycle", Json.Int l.a_cycle);
+       ("tasks", Json.Int l.a_tasks);
+       ("t0_us", Json.Float l.a_t0_us);
+       ("makespan_us", Json.Float l.a_makespan_us);
+       ("busy_us", Json.Float l.a_busy_us);
+       ("ideal_us", Json.Float l.a_ideal_us);
+       ("gap_us", Json.Float l.a_gap_us);
+       ("cp_us", Json.Float l.a_cp_us);
+       ("cp_residual_us", Json.Float l.a_cp_residual_us);
+       ("imbalance_us", Json.Float l.a_imbalance_us);
+       ("queue_us", Json.Float l.a_queue_us);
+       ("lock_us", Json.Float l.a_lock_us);
+       ("dominant", Json.Str (fst (dominant l)));
+     ]
+    @
+    if workers then
+      [ ("workers", Json.List (List.map worker_json l.a_workers)) ]
+    else [])
+
+let to_json ?(per_cycle = false) ~task ~queue_op_us ledgers =
+  let t = totals ledgers in
+  let procs = match ledgers with [] -> 0 | l :: _ -> l.a_procs in
+  Json.Obj
+    ([
+       ("schema", Json.Str "psme-attribution/1");
+       ("task", Json.Str task);
+       ("procs", Json.Int procs);
+       ("queue_op_us", Json.Float queue_op_us);
+       ( "totals",
+         Json.Obj
+           [
+             ("cycles", Json.Int t.t_cycles);
+             ("ideal_us", Json.Float t.t_ideal_us);
+             ("busy_us", Json.Float t.t_busy_us);
+             ("gap_us", Json.Float t.t_gap_us);
+             ("cp_residual_us", Json.Float t.t_cp_residual_us);
+             ("imbalance_us", Json.Float t.t_imbalance_us);
+             ("queue_us", Json.Float t.t_queue_us);
+             ("lock_us", Json.Float t.t_lock_us);
+             ( "dominant",
+               if t.t_cycles = 0 then Json.Null
+               else Json.Str (fst (totals_dominant t)) );
+           ] );
+       ( "worst_cycle",
+         match worst ledgers with
+         | None -> Json.Null
+         | Some l -> ledger_json l );
+     ]
+    @
+    if per_cycle then
+      [ ("cycles", Json.List (List.map (ledger_json ~workers:true) ledgers)) ]
+    else [])
+
+(* --- pretty printing ----------------------------------------------------- *)
+
+let pct part whole = if whole <= 0. then 0. else 100. *. part /. whole
+
+let pp ?(top = 8) ppf ledgers =
+  let t = totals ledgers in
+  Format.fprintf ppf
+    "%d cycles: ideal %.0f us of processor-time, busy %.0f us, gap %.0f us \
+     (%.0f%%)@."
+    t.t_cycles t.t_ideal_us t.t_busy_us t.t_gap_us (pct t.t_gap_us t.t_ideal_us);
+  List.iter
+    (fun (n, v) ->
+      Format.fprintf ppf "  %-24s %14.0f us  %5.1f%% of the gap@."
+        (component_label n) v (pct v t.t_gap_us))
+    (totals_components t);
+  (match t.t_cycles with
+  | 0 -> ()
+  | _ ->
+    let n, v = totals_dominant t in
+    Format.fprintf ppf "dominant: %s (%.1f%% of the gap)@." (component_label n)
+      (pct v t.t_gap_us));
+  Format.fprintf ppf "%-7s %7s %11s %11s %11s %11s %9s %9s  %s@." "cycle"
+    "tasks" "gap_us" "cp_res_us" "imbal_us" "queue_us" "lock_us" "chain_us"
+    "dominant";
+  let by_gap = List.sort (fun a b -> compare b.a_gap_us a.a_gap_us) ledgers in
+  List.iteri
+    (fun i l ->
+      if i < top then
+        Format.fprintf ppf "%-7d %7d %11.1f %11.1f %11.1f %11.1f %9.1f %9.1f  %s@."
+          l.a_cycle l.a_tasks l.a_gap_us l.a_cp_residual_us l.a_imbalance_us
+          l.a_queue_us l.a_lock_us l.a_cp_us
+          (component_label (fst (dominant l))))
+    by_gap

@@ -1,0 +1,132 @@
+(** Speedup-loss attribution: a per-cycle bottleneck ledger.
+
+    The paper's central negative result (§6.2, Figures 6-5/6-6) is that
+    per-cycle speedup is capped well below the processor count. This
+    module turns "speedup is 4.1× at 11 procs" into an {e additive
+    ledger of why}: for every cycle it decomposes the gap between ideal
+    and achieved processor-time into four named components that sum to
+    the measured gap exactly (the invariant {!check} enforces and the
+    test suite asserts on the paper's tasks).
+
+    All quantities are processor-time (µs × processors) over the
+    cycle's {e task-phase window}: the span from the cycle's start to
+    the last task/queue/lock event. The alpha constant-test pass that
+    {!Psme_engine.Sim.finish_stats} adds to both serial and makespan
+    time is deliberately outside the window — it dilutes serial and
+    parallel time equally and carries no attribution signal.
+
+    With [P] processors, window makespan [M], summed task cost [S] and
+    longest spawn chain [C] (from {!Critical_path}):
+
+    - [ideal = P·M] and [gap = ideal − S]: the processor-time not spent
+      executing match tasks;
+    - {b critical-path residual} is taken first: the larger of the
+      provable chain floor [P·C − S] (processor-time no schedule can
+      recover while the longest dependent chain pins the cycle down)
+      and the observed {e starvation idle} — processor-time spent while
+      the task queues were globally empty, reconstructed by sweeping
+      push/pop/steal events against running task spans. When the spawn
+      DAG cannot feed the processors, the idleness and the empty-system
+      polling it causes are forced by the dependence structure — the
+      Figure 6-6 serial tail — and are charged here, not to overhead;
+    - {b lock contention}: summed [Lock_wait] durations of the worker
+      processes (in the simulator, waits for a busy task queue — the
+      §6.1 line-lock analogue on the scheduling structure);
+    - {b queue/steal overhead}: every worker-side queue operation
+      ([Queue_push]/[Queue_pop]/[Queue_steal]/[Queue_failed_pop])
+      charged at the cost-model's per-operation price [queue_op_us];
+      lock and queue charges fill the gap remaining after the chain
+      component, scaled down proportionally when they exceed it;
+    - {b load imbalance}: whatever idle time is left — work existed
+      and no chain or measured overhead forced the stall.
+
+    Components are clamped in that order, so each is non-negative and
+    they sum to [gap] by construction (± float rounding). *)
+
+type worker = {
+  w_proc : int;
+  w_tasks : int;
+  w_busy_us : float;  (** summed task cost executed on this process *)
+  w_queue_ops : int;  (** pushes + pops + steals + failed pops *)
+  w_queue_us : float;  (** [w_queue_ops × queue_op_us] *)
+  w_lock_us : float;  (** summed [Lock_wait] durations *)
+  w_idle_us : float;  (** window makespan minus the three above, >= 0 *)
+  w_steals : int;  (** tasks this process took from another queue *)
+  w_stolen_from : int;
+      (** tasks thieves took from this process's queue (steal
+          provenance: the victim queue index rides in the [node] field
+          of [Queue_steal] events) *)
+  w_failed_pops : int;
+}
+
+type ledger = {
+  a_cycle : int;  (** elaboration-cycle index *)
+  a_procs : int;
+  a_tasks : int;
+  a_t0_us : float;  (** window start on the global virtual timeline *)
+  a_makespan_us : float;  (** task-phase window span [M] *)
+  a_busy_us : float;  (** [S]: summed task cost *)
+  a_ideal_us : float;  (** [P·M] *)
+  a_gap_us : float;  (** [ideal − busy] *)
+  a_cp_us : float;  (** [C]: longest spawn chain *)
+  a_cp_residual_us : float;
+  a_imbalance_us : float;
+  a_queue_us : float;
+  a_lock_us : float;
+  a_workers : worker list;  (** per-worker timeline, by process id *)
+}
+
+val per_cycle :
+  procs:int -> queue_op_us:float -> Trace.event array -> ledger list
+(** One ledger per cycle that executed at least one task, in cycle
+    order. [procs] is the configured process count (idle processes may
+    emit no events); [queue_op_us] prices one queue operation — pass
+    the cost model's [Cost.queue_op_us] for simulator traces and [0.]
+    for real-engine traces, where queue operations are part of the
+    measured wall time rather than a modeled charge. *)
+
+val components : ledger -> (string * float) list
+(** The four components with their stable names, ledger order:
+    [cp_residual], [imbalance], [queue], [lock]. *)
+
+val component_label : string -> string
+(** Human-readable label for a stable component name, e.g.
+    ["cp_residual"] -> ["critical-path residual"]. *)
+
+val dominant : ledger -> string * float
+(** The largest component (stable name, µs). *)
+
+val check : ledger -> (unit, string) result
+(** The additivity invariant: components sum to [a_gap_us] within
+    rounding, every component and every worker idle is non-negative. *)
+
+type totals = {
+  t_cycles : int;
+  t_ideal_us : float;
+  t_busy_us : float;
+  t_gap_us : float;
+  t_cp_residual_us : float;
+  t_imbalance_us : float;
+  t_queue_us : float;
+  t_lock_us : float;
+}
+
+val totals : ledger list -> totals
+val totals_components : totals -> (string * float) list
+val totals_dominant : totals -> string * float
+
+val worst : ledger list -> ledger option
+(** The worst-parallelizing cycle: the one losing the greatest {e
+    share} of its ideal processor-time ([a_gap_us / a_ideal_us], ties
+    broken by absolute loss) — the per-cycle worst-speedup notion of
+    the paper's Figure 6-6, and the cycle a diagnosis should explain
+    first. *)
+
+val to_json :
+  ?per_cycle:bool -> task:string -> queue_op_us:float -> ledger list -> Json.t
+(** Schema ["psme-attribution/1"]. Always carries [totals] and the
+    totals' dominant component; [per_cycle] (default false) adds the
+    [cycles] array with each ledger and its per-worker rows. *)
+
+val pp : ?top:int -> Format.formatter -> ledger list -> unit
+(** Totals plus the [top] cycles by gap. *)

@@ -45,18 +45,58 @@ let emit_meta buf ~first ~name ~tid ~value =
   Json.escape_to_buffer buf value;
   Buffer.add_string buf "}}"
 
+let emit_sort_index buf ~first ~name ~tid ~index =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  Buffer.add_string buf "\n{\"name\":";
+  Json.escape_to_buffer buf name;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
+       tid index)
+
+(* One counter sample per cycle: the four speedup-loss components of
+   the cycle's attribution ledger, drawn as stacked counter tracks. *)
+let emit_ledger_counters buf ~first (ledgers : Attribution.ledger list) =
+  List.iter
+    (fun (l : Attribution.ledger) ->
+      emit_event buf ~first ~name:"speedup-loss" ~cat:"attribution" ~ph:"C"
+        ~ts:l.Attribution.a_t0_us ~tid:0
+        [
+          ("cp_residual_us", Json.Float l.Attribution.a_cp_residual_us);
+          ("imbalance_us", Json.Float l.Attribution.a_imbalance_us);
+          ("queue_us", Json.Float l.Attribution.a_queue_us);
+          ("lock_us", Json.Float l.Attribution.a_lock_us);
+        ])
+    ledgers
+
 let to_buffer ?(node_name = fun id -> Printf.sprintf "node%d" id)
-    ?(queue_events = true) buf (events : Trace.event array) =
+    ?(queue_events = true) ?(ledgers = []) buf (events : Trace.event array) =
+  (* Perfetto tolerates unsorted streams but renders sorted ones
+     faster and unambiguously; emission order across engine domains is
+     not the timeline order, so sort a copy by timestamp here. *)
+  let events = Array.copy events in
+  Array.stable_sort
+    (fun (a : Trace.event) (b : Trace.event) -> compare a.Trace.t_us b.Trace.t_us)
+    events;
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
   emit_meta buf ~first ~name:"process_name" ~tid:0 ~value:"soar/psme match";
+  emit_sort_index buf ~first ~name:"process_sort_index" ~tid:0 ~index:0;
   List.iter
     (fun p ->
       emit_meta buf ~first ~name:"thread_name" ~tid:p
-        ~value:(Printf.sprintf "proc %d" p))
+        ~value:(Printf.sprintf "proc %d" p);
+      (* per-worker lanes in worker-id order, ahead of the control and
+         cycle lanes (whose high tids are also their sort keys) *)
+      emit_sort_index buf ~first ~name:"thread_sort_index" ~tid:p ~index:p)
     (lanes events);
   emit_meta buf ~first ~name:"thread_name" ~tid:control_tid ~value:"control";
+  emit_sort_index buf ~first ~name:"thread_sort_index" ~tid:control_tid
+    ~index:control_tid;
   emit_meta buf ~first ~name:"thread_name" ~tid:cycles_tid ~value:"cycles";
+  emit_sort_index buf ~first ~name:"thread_sort_index" ~tid:cycles_tid
+    ~index:cycles_tid;
+  emit_ledger_counters buf ~first ledgers;
   Array.iter
     (fun (e : Trace.event) ->
       let open Trace in
@@ -101,7 +141,7 @@ let to_buffer ?(node_name = fun id -> Printf.sprintf "node%d" id)
     events;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 
-let to_string ?node_name ?queue_events events =
+let to_string ?node_name ?queue_events ?ledgers events =
   let buf = Buffer.create (64 * Array.length events) in
-  to_buffer ?node_name ?queue_events buf events;
+  to_buffer ?node_name ?queue_events ?ledgers buf events;
   Buffer.contents buf

@@ -15,15 +15,24 @@
 val to_buffer :
   ?node_name:(int -> string) ->
   ?queue_events:bool ->
+  ?ledgers:Attribution.ledger list ->
   Buffer.t ->
   Trace.event array ->
   unit
 (** [node_name] labels task slices (defaults to ["node<id>"]);
     [queue_events] (default true) includes instant markers for queue
-    push/pop/steal/failed-pop. *)
+    push/pop/steal/failed-pop; [ledgers] (default none) adds a
+    "speedup-loss" counter track with one sample per cycle holding the
+    four attribution components. Events are sorted by timestamp before
+    emission, and process/thread metadata records (names plus sort
+    indices) label and order the per-worker lanes by worker id. *)
 
 val to_string :
-  ?node_name:(int -> string) -> ?queue_events:bool -> Trace.event array -> string
+  ?node_name:(int -> string) ->
+  ?queue_events:bool ->
+  ?ledgers:Attribution.ledger list ->
+  Trace.event array ->
+  string
 
 val lanes : Trace.event array -> int list
 (** The distinct virtual processors appearing in the events, sorted;

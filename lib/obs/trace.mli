@@ -23,7 +23,11 @@ type kind =
   | Task_end  (** [dur_us] = task cost; [scanned]/[emitted] filled *)
   | Queue_push  (** a task was enqueued; [task]/[parent] identify it *)
   | Queue_pop  (** popped from the process's own queue *)
-  | Queue_steal  (** popped from another process's queue *)
+  | Queue_steal
+      (** popped from another process's queue; [node] = the victim
+          queue's index (steal provenance: victim→thief edges, the
+          thief being [proc]) — [-1] in traces predating the
+          attribution layer *)
   | Queue_failed_pop  (** probe found the queue empty *)
   | Lock_wait  (** waited [dur_us] for an exclusive resource *)
   | Cycle_begin

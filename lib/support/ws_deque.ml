@@ -20,7 +20,15 @@ type stats = {
   steal_attempts : int;
   steals : int;
   steal_cas_failures : int;
+  failed_steals : int;
 }
+
+(* Steal provenance is a fixed bank of per-thief counters: growing an
+   array under concurrent thieves would race, so thief ids hash into
+   [prov_slots] slots (collision-free for up to 64 workers, far above
+   the paper's 13-processor Multimax). *)
+let prov_slots = 64
+let prov_mask = prov_slots - 1
 
 type 'a t = {
   top : int Atomic.t;
@@ -36,6 +44,8 @@ type 'a t = {
   n_steal_attempts : int Atomic.t; (* probes that saw a non-empty deque *)
   n_steals : int Atomic.t;
   n_steal_cas_failures : int Atomic.t; (* probes that lost the top CAS *)
+  n_empty_steals : int Atomic.t; (* probes that saw an empty deque *)
+  prov : int Atomic.t array; (* successful steals by thief id *)
 }
 
 let create ?(capacity = 256) () =
@@ -53,6 +63,8 @@ let create ?(capacity = 256) () =
     n_steal_attempts = Atomic.make 0;
     n_steals = Atomic.make 0;
     n_steal_cas_failures = Atomic.make 0;
+    n_empty_steals = Atomic.make 0;
+    prov = Array.init prov_slots (fun _ -> Atomic.make 0);
   }
 
 let grow q bf t b =
@@ -107,16 +119,22 @@ let pop q =
     end
   end
 
-let steal q =
+let steal ?thief q =
   let t = Atomic.get q.top in
   let b = Atomic.get q.bottom in
-  if b - t <= 0 then None
+  if b - t <= 0 then begin
+    Atomic.incr q.n_empty_steals;
+    None
+  end
   else begin
     Atomic.incr q.n_steal_attempts;
     let bf = Atomic.get q.buf in
     let x = bf.arr.(t land bf.mask) in
     if Atomic.compare_and_set q.top t (t + 1) then begin
       Atomic.incr q.n_steals;
+      (match thief with
+      | Some id -> Atomic.incr q.prov.(id land prov_mask)
+      | None -> ());
       x
     end
     else begin
@@ -139,4 +157,15 @@ let stats q =
     steal_attempts = Atomic.get q.n_steal_attempts;
     steals = Atomic.get q.n_steals;
     steal_cas_failures = Atomic.get q.n_steal_cas_failures;
+    failed_steals =
+      Atomic.get q.n_empty_steals + Atomic.get q.n_steal_cas_failures;
   }
+
+let provenance q =
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      let n = Atomic.get q.prov.(i) in
+      collect (i - 1) (if n > 0 then (i, n) :: acc else acc)
+  in
+  collect (prov_slots - 1) []

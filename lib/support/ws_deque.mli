@@ -24,10 +24,12 @@ val pop : 'a t -> 'a option
 (** Owner only. Pop the most recently pushed element; [None] when
     empty (also when a thief won the race for the last element). *)
 
-val steal : 'a t -> 'a option
+val steal : ?thief:int -> 'a t -> 'a option
 (** Any domain. Take the oldest element; [None] when the deque looks
     empty {e or} the CAS lost a race with another thief or the owner —
-    callers treat both as a failed probe and move on rather than spin. *)
+    callers treat both as a failed probe and move on rather than spin.
+    [thief] labels a successful steal with the stealing worker's id for
+    the {!provenance} victim→thief counters. *)
 
 val size : 'a t -> int
 (** Snapshot of the current element count (racy; for stats only). *)
@@ -36,7 +38,10 @@ val size : 'a t -> int
     plain/atomic increments per operation — cheap enough to leave on).
     [steal_attempts] counts probes that saw a non-empty deque;
     [steal_cas_failures] the subset that then lost the top CAS;
-    [pop_races] owner pops that lost the last-element race to a thief. *)
+    [pop_races] owner pops that lost the last-element race to a thief;
+    [failed_steals] every unsuccessful probe — empty-looking deques
+    plus lost CAS races — the per-deque view the global telemetry
+    counters cannot give. *)
 type stats = {
   pushes : int;
   pops : int;
@@ -44,9 +49,16 @@ type stats = {
   steal_attempts : int;
   steals : int;
   steal_cas_failures : int;
+  failed_steals : int;
 }
 
 val stats : 'a t -> stats
 (** Snapshot of the counters. Owner-side fields ([pushes], [pops],
     [pop_races]) are read racily when called from another domain —
     quiesce the owner (e.g. after join) for exact values. *)
+
+val provenance : 'a t -> (int * int) list
+(** Steal provenance for this deque (the victim): [(thief, steals)]
+    pairs, ascending by thief id, for every thief that passed its id to
+    {!steal} and succeeded at least once. Thief ids are tracked modulo
+    64 — exact for any realistic worker count. *)

@@ -109,7 +109,7 @@ let test_trace_ring () =
 
 let procs = 4
 
-let traced_run ?(changes = 30) () =
+let traced_run ?(changes = 30) ?(compiled = true) () =
   let schema = Fixtures.schema_with () in
   let prods =
     Fixtures.parse_prods schema
@@ -122,7 +122,9 @@ let traced_run ?(changes = 30) () =
   (make place ^name <x>))
 |})
   in
-  let net = Network.create schema in
+  let net =
+    Network.create ~config:{ Network.default_config with Network.compiled } schema
+  in
   ignore (Build.add_all net prods);
   let tracer = Trace.create () in
   let engine =
@@ -293,6 +295,230 @@ let test_cycle_to_json_fields () =
       "failed_pops"; "scanned"; "emitted"; "wall_ns"; "speedup";
     ]
 
+(* --- speedup-loss attribution --------------------------------------------- *)
+
+let check_ledgers name ledgers =
+  Alcotest.(check bool) (name ^ ": ledgers produced") true (ledgers <> []);
+  List.iter
+    (fun l ->
+      match Attribution.check l with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    ledgers
+
+let test_attribution_invariant () =
+  let _, _, tracer = traced_run () in
+  let ledgers =
+    Attribution.per_cycle ~procs ~queue_op_us:Cost.default.Cost.queue_op_us
+      (Trace.events tracer)
+  in
+  check_ledgers "traced run" ledgers;
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "one row per configured process" procs
+        (List.length l.Attribution.a_workers);
+      Alcotest.(check (list string)) "stable component names"
+        [ "cp_residual"; "imbalance"; "queue"; "lock" ]
+        (List.map fst (Attribution.components l));
+      let wbusy =
+        List.fold_left (fun s w -> s +. w.Attribution.w_busy_us) 0.
+          l.Attribution.a_workers
+      in
+      Alcotest.(check (float 0.5)) "worker busy partitions cycle busy"
+        l.Attribution.a_busy_us wbusy)
+    ledgers
+
+let run_workload_ledgers (w : Psme_workloads.Workload.t) ~procs =
+  let tracer = Trace.create ~capacity:(1 lsl 21) () in
+  let config =
+    {
+      Psme_soar.Agent.default_config with
+      Psme_soar.Agent.learning = false;
+      tracer = Some tracer;
+      engine_mode =
+        Engine.Sim_mode
+          { Sim.procs; queues = Psme_engine.Parallel.Multiple_queues;
+            collect_trace = false };
+    }
+  in
+  let agent = w.Psme_workloads.Workload.make ~config () in
+  ignore (Psme_soar.Agent.run agent);
+  let cost = (Psme_soar.Agent.config agent).Psme_soar.Agent.cost in
+  Attribution.per_cycle ~procs ~queue_op_us:cost.Cost.queue_op_us
+    (Trace.events tracer)
+
+(* The tentpole invariant on the paper's tasks: at every measured
+   processor count the four ledger components sum to the measured gap
+   and stay non-negative, cycle by cycle. *)
+let attribution_workload_case (w : Psme_workloads.Workload.t) () =
+  List.iter
+    (fun p ->
+      let name = Printf.sprintf "%s at %d procs" w.Psme_workloads.Workload.name p in
+      check_ledgers name (run_workload_ledgers w ~procs:p))
+    [ 1; 8; 11; 13 ]
+
+(* Figure 6-6: the worst-parallelizing Eight-puzzle cycle is pinned
+   down by its spawn chain — the ledger names the critical-path
+   residual, not queue or lock overhead, as the dominant loss. *)
+let test_attribution_worst_eight_puzzle () =
+  let ledgers =
+    run_workload_ledgers Psme_workloads.Eight_puzzle.workload ~procs:11
+  in
+  check_ledgers "eight-puzzle at 11 procs" ledgers;
+  match Attribution.worst ledgers with
+  | None -> Alcotest.fail "no traced cycles"
+  | Some w ->
+    let dom, _ = Attribution.dominant w in
+    Alcotest.(check string)
+      (Printf.sprintf "worst cycle %d dominated by the chain" w.Attribution.a_cycle)
+      "cp_residual" dom
+
+let test_attribution_json_contract () =
+  let _, _, tracer = traced_run () in
+  let ledgers =
+    Attribution.per_cycle ~procs ~queue_op_us:Cost.default.Cost.queue_op_us
+      (Trace.events tracer)
+  in
+  let doc =
+    Attribution.to_json ~per_cycle:true ~task:"blocks"
+      ~queue_op_us:Cost.default.Cost.queue_op_us ledgers
+  in
+  let s = Json.to_string doc in
+  (match Json.validate s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "attribution json invalid: %s" e);
+  match Json.parse s with
+  | Error e -> Alcotest.failf "attribution json does not parse: %s" e
+  | Ok (Json.Obj fields) ->
+    let get k = List.assoc_opt k fields in
+    (match get "schema" with
+    | Some (Json.Str "psme-attribution/1") -> ()
+    | _ -> Alcotest.fail "schema tag missing or wrong");
+    (match get "totals" with
+    | Some (Json.Obj t) ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("totals." ^ k ^ " present") true
+            (List.mem_assoc k t))
+        [ "cycles"; "ideal_us"; "busy_us"; "gap_us"; "cp_residual_us";
+          "imbalance_us"; "queue_us"; "lock_us"; "dominant" ]
+    | _ -> Alcotest.fail "totals object missing");
+    (match get "worst_cycle" with
+    | Some (Json.Obj w) ->
+      Alcotest.(check bool) "worst cycle carries dominant" true
+        (List.mem_assoc "dominant" w)
+    | Some Json.Null when ledgers = [] -> ()
+    | _ -> Alcotest.fail "worst_cycle missing");
+    (match get "cycles" with
+    | Some (Json.List (Json.Obj c :: _)) ->
+      (match List.assoc_opt "workers" c with
+      | Some (Json.List ws) ->
+        Alcotest.(check int) "per-worker rows in per-cycle json" procs
+          (List.length ws)
+      | _ -> Alcotest.fail "workers array missing")
+    | _ -> Alcotest.fail "cycles array missing")
+  | Ok _ -> Alcotest.fail "attribution json is not an object"
+
+(* --- chrome trace export --------------------------------------------------- *)
+
+(* Satellite: the exporter sorts events by timestamp and labels lanes
+   with Perfetto metadata records; attribution ledgers ride along as a
+   counter track. *)
+let test_chrome_trace_sorted_metadata () =
+  let tr = Trace.create () in
+  Trace.set_cycle tr 1;
+  (* deliberately emitted out of timeline order *)
+  Trace.emit tr Trace.Queue_push ~t_us:260. ~proc:1 ~task:2 ();
+  Trace.emit tr Trace.Task_end ~t_us:250. ~dur_us:50. ~proc:1 ~node:3 ~task:2 ();
+  Trace.emit tr Trace.Task_end ~t_us:140. ~dur_us:40. ~proc:0 ~node:2 ~task:1 ();
+  Trace.emit tr Trace.Queue_push ~t_us:60. ~proc:0 ~task:1 ();
+  let events = Trace.events tr in
+  let ledgers = Attribution.per_cycle ~procs:2 ~queue_op_us:30. events in
+  let s = Chrome_trace.to_string ~ledgers events in
+  (match Json.validate s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "chrome trace invalid: %s" e);
+  match Json.parse s with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok (Json.Obj fields) when List.mem_assoc "traceEvents" fields ->
+    let records =
+      match List.assoc "traceEvents" fields with
+      | Json.List records -> records
+      | _ -> Alcotest.fail "traceEvents is not an array"
+    in
+    let assoc k r = match r with Json.Obj f -> List.assoc_opt k f | _ -> None in
+    let str v = match v with Some (Json.Str s) -> Some s | _ -> None in
+    let metas =
+      List.filter_map
+        (fun r ->
+          if str (assoc "ph" r) = Some "M" then str (assoc "name" r) else None)
+        records
+    in
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) (n ^ " metadata present") true (List.mem n metas))
+      [ "process_name"; "thread_name"; "process_sort_index"; "thread_sort_index" ];
+    let ts_of r =
+      match assoc "ts" r with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let spans =
+      List.filter_map
+        (fun r -> if str (assoc "ph" r) = Some "X" then ts_of r else None)
+        records
+    in
+    Alcotest.(check int) "both task spans exported" 2 (List.length spans);
+    Alcotest.(check bool) "spans sorted by timestamp" true
+      (List.sort compare spans = spans);
+    let counters =
+      List.filter
+        (fun r ->
+          str (assoc "ph" r) = Some "C"
+          && str (assoc "name" r) = Some "speedup-loss")
+        records
+    in
+    Alcotest.(check int) "one counter sample per ledger" (List.length ledgers)
+      (List.length counters);
+    List.iter
+      (fun r ->
+        match assoc "args" r with
+        | Some (Json.Obj args) ->
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) (k ^ " counter track") true
+                (List.mem_assoc k args))
+            [ "cp_residual_us"; "imbalance_us"; "queue_us"; "lock_us" ]
+        | _ -> Alcotest.fail "counter without args")
+      counters
+  | Ok _ -> Alcotest.fail "chrome trace is not a traceEvents object"
+
+(* --- critical path on the compiled match path ------------------------------ *)
+
+(* Satellite: the spawn-DAG reconstruction does not depend on the
+   dispatch mechanism — closure-compiled node programs and the
+   interpreted path produce the same per-cycle chains. *)
+let test_critical_path_compiled_matches_interpreted () =
+  let report compiled =
+    let _, _, tracer = traced_run ~compiled () in
+    Critical_path.per_cycle (Trace.events tracer)
+  in
+  let compiled = report true and interpreted = report false in
+  Alcotest.(check int) "same cycle count" (List.length interpreted)
+    (List.length compiled);
+  List.iter2
+    (fun (a : Critical_path.cycle_report) (b : Critical_path.cycle_report) ->
+      Alcotest.(check int) "same cycle" a.Critical_path.cp_cycle
+        b.Critical_path.cp_cycle;
+      Alcotest.(check int) "same chain length" a.Critical_path.cp_len
+        b.Critical_path.cp_len;
+      Alcotest.(check (float 1e-6)) "same chain cost" a.Critical_path.cp_us
+        b.Critical_path.cp_us;
+      Alcotest.(check (float 1e-6)) "same serial cost"
+        a.Critical_path.cp_serial_us b.Critical_path.cp_serial_us)
+    interpreted compiled
+
 let suite =
   [
     Alcotest.test_case "json writer" `Quick test_json_writer;
@@ -304,4 +530,18 @@ let suite =
     Alcotest.test_case "critical path bounds" `Quick test_critical_path_bounds;
     Alcotest.test_case "eight-puzzle chain bounds" `Slow test_eight_puzzle_chain_bounds;
     Alcotest.test_case "cycle to_json contract" `Quick test_cycle_to_json_fields;
+    Alcotest.test_case "attribution invariant" `Quick test_attribution_invariant;
+    Alcotest.test_case "attribution json contract" `Quick test_attribution_json_contract;
+    Alcotest.test_case "chrome trace sorted + metadata" `Quick
+      test_chrome_trace_sorted_metadata;
+    Alcotest.test_case "critical path: compiled = interpreted" `Quick
+      test_critical_path_compiled_matches_interpreted;
+    Alcotest.test_case "attribution invariant: strips" `Slow
+      (attribution_workload_case Psme_workloads.Strips.workload);
+    Alcotest.test_case "attribution invariant: cypress" `Slow
+      (attribution_workload_case Psme_workloads.Cypress.workload);
+    Alcotest.test_case "attribution invariant: eight-puzzle" `Slow
+      (attribution_workload_case Psme_workloads.Eight_puzzle.workload);
+    Alcotest.test_case "attribution worst cycle is chain-bound" `Slow
+      test_attribution_worst_eight_puzzle;
   ]

@@ -36,6 +36,31 @@ let test_deque_steal_fifo () =
     "owner keeps the newest" [ Some 5; Some 4; Some 3; None ]
     (take_n (fun () -> Ws_deque.pop q) 4)
 
+let test_deque_stats_provenance () =
+  let q = Ws_deque.create ~capacity:4 () in
+  List.iter (Ws_deque.push q) [ 1; 2; 3; 4 ];
+  (* two attributed steals by thief 2, one by thief 5, one anonymous *)
+  let s1 = Ws_deque.steal ~thief:2 q in
+  let s2 = Ws_deque.steal ~thief:2 q in
+  let s3 = Ws_deque.steal ~thief:5 q in
+  let s4 = Ws_deque.steal q in
+  Alcotest.(check (list (option int)))
+    "attributed steals succeed"
+    [ Some 1; Some 2; Some 3; Some 4 ]
+    [ s1; s2; s3; s4 ];
+  (* empty probes count as failed steals, attributed or not *)
+  Alcotest.(check (option int)) "empty probe" None (Ws_deque.steal ~thief:2 q);
+  Alcotest.(check (option int)) "empty probe" None (Ws_deque.steal q);
+  let s = Ws_deque.stats q in
+  Alcotest.(check int) "pushes" 4 s.Ws_deque.pushes;
+  Alcotest.(check int) "steals" 4 s.Ws_deque.steals;
+  Alcotest.(check int) "failed steals" 2 s.Ws_deque.failed_steals;
+  Alcotest.(check int) "no CAS failures uncontended" 0 s.Ws_deque.steal_cas_failures;
+  Alcotest.(check (list (pair int int)))
+    "victim->thief provenance (anonymous steals unattributed)"
+    [ (2, 2); (5, 1) ]
+    (Ws_deque.provenance q)
+
 let test_deque_growth () =
   let q = Ws_deque.create ~capacity:4 () in
   let n = 10_000 in
@@ -348,6 +373,8 @@ let suite =
     Alcotest.test_case "deque: owner LIFO" `Quick test_deque_owner_lifo;
     Alcotest.test_case "deque: steal FIFO" `Quick test_deque_steal_fifo;
     Alcotest.test_case "deque: growth" `Quick test_deque_growth;
+    Alcotest.test_case "deque: stats + steal provenance" `Quick
+      test_deque_stats_provenance;
     Alcotest.test_case "deque: concurrent steals exactly-once" `Quick
       test_deque_concurrent_steals;
     Alcotest.test_case "memory: histogram units pinned" `Quick
